@@ -1,0 +1,136 @@
+// Command reproduce regenerates the paper's figures and tables.
+//
+// Usage:
+//
+//	reproduce -list
+//	reproduce -id fig1 [-seed 1] [-scale 0.3] [-netsize 120] [-quick] [-csv out/]
+//	reproduce -all [-quick] [-csv out/]
+//	reproduce -render fig12
+//
+// Each experiment prints its measured metrics next to the paper's
+// reported values; -csv additionally writes the underlying series.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/netgen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		list    = flag.Bool("list", false, "list experiments")
+		id      = flag.String("id", "", "experiment(s) to run, comma-separated (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		seed    = flag.Int64("seed", 1, "random seed")
+		scale   = flag.Float64("scale", 0, "population scale (0 = default)")
+		netSize = flag.Int("netsize", 0, "simulated live-node count (0 = default)")
+		quick   = flag.Bool("quick", false, "reduced sizes for a fast smoke run")
+		csvDir  = flag.String("csv", "", "also write series CSVs into this directory")
+		render  = flag.String("render", "", "render an ASCII artifact (currently: fig12)")
+	)
+	flag.Parse()
+
+	opts := core.Options{
+		Seed:    *seed,
+		Scale:   *scale,
+		NetSize: *netSize,
+		Quick:   *quick,
+	}
+
+	switch {
+	case *list:
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-10s %-12s %s\n", e.ID, e.Section, e.Title)
+		}
+		return nil
+
+	case *render != "":
+		return renderArtifact(*render, opts)
+
+	case *all:
+		start := time.Now()
+		for _, e := range core.Experiments() {
+			rep, err := e.Run(opts)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			if err := rep.Render(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+			if *csvDir != "" {
+				if err := rep.WriteCSV(*csvDir); err != nil {
+					return err
+				}
+			}
+		}
+		fmt.Printf("all experiments done in %v\n", time.Since(start).Round(time.Second))
+		return nil
+
+	case *id != "":
+		for _, one := range strings.Split(*id, ",") {
+			one = strings.TrimSpace(one)
+			e, ok := core.ByID(one)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", one)
+			}
+			rep, err := e.Run(opts)
+			if err != nil {
+				return err
+			}
+			if err := rep.Render(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+			if *csvDir != "" {
+				if err := rep.WriteCSV(*csvDir); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+
+	default:
+		flag.Usage()
+		return fmt.Errorf("one of -list, -id, -all, or -render is required")
+	}
+}
+
+// renderArtifact draws figure artifacts that are pictures rather than
+// series.
+func renderArtifact(id string, opts core.Options) error {
+	switch id {
+	case "fig12":
+		scale := opts.Scale
+		if scale == 0 {
+			scale = 0.05
+		}
+		res, err := analysis.RunChurnFigs(analysis.ChurnFigsConfig{
+			Params: netgen.DefaultParams(opts.Seed, scale),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Matrix.Render(48, 100))
+		fmt.Printf("persistent=%d of %d, mean lifetime %.1f days\n",
+			res.PersistentCount, res.UniqueAddresses,
+			res.MeanLifetime.Hours()/24)
+		return nil
+	default:
+		return fmt.Errorf("no renderer for %q (try fig12)", id)
+	}
+}

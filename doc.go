@@ -1,0 +1,23 @@
+// Package repro is a full reproduction of "Root Cause Analyses for the
+// Deteriorating Bitcoin Network Synchronization" (Saad, Chen, Mohaisen;
+// IEEE ICDCS 2021).
+//
+// The paper is a measurement study of the live Bitcoin P2P network; this
+// repository rebuilds the entire apparatus offline: the Bitcoin wire
+// protocol and address manager, a full node state machine with Bitcoin
+// Core's round-robin message scheduling, a discrete-event network
+// simulator, the crawler and scanner of the paper's Algorithms 1–2, a
+// calibrated synthetic population standing in for the live network, and
+// the analysis pipelines that regenerate every figure and table in the
+// evaluation.
+//
+// Start with the README for the architecture overview, DESIGN.md for the
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate each figure/table:
+//
+//	go test -bench=. -benchmem
+//
+// or use the CLI:
+//
+//	go run ./cmd/reproduce -all
+package repro

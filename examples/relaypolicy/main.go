@@ -1,0 +1,59 @@
+// Relay-policy ablation (§IV-C and §V): the same network workload under
+// Bitcoin Core's round-robin message scheduling, the idealized lock-step
+// broadcast of the theoretical models, and the paper's proposed
+// priority-outbound block relay.
+//
+//	go run ./examples/relaypolicy
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/node"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "relaypolicy:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	policies := []node.RelayPolicy{node.RoundRobin, node.PriorityOutbound, node.Broadcast}
+
+	fmt.Println("relay-policy ablation: 50 nodes, 2 virtual hours, heavy tx congestion")
+	fmt.Printf("%-18s %10s %10s %10s %10s %12s\n",
+		"policy", "blk mean", "blk p99", "blk max", "tx max", "observed sync")
+
+	for _, policy := range policies {
+		res, err := analysis.RunPropagation(analysis.PropagationConfig{
+			Seed:                    9,
+			NumReachable:            50,
+			Duration:                2 * time.Hour,
+			TxPerBlock:              1500,
+			CompactBlocks:           true,
+			RelayPolicy:             policy,
+			ChurnDeparturesPer10Min: 1.5,
+		})
+		if err != nil {
+			return fmt.Errorf("%v: %w", policy, err)
+		}
+		blocks := analysis.SummarizeRelays(res.BlockRelays)
+		txs := analysis.SummarizeRelays(res.TxRelays)
+		fmt.Printf("%-18s %9.2fs %9.2fs %9.2fs %9.2fs %11.1f%%\n",
+			policy, blocks.Mean, blocks.P99, blocks.Max, txs.Max,
+			100*stats.Mean(res.ObservedSyncSamples))
+	}
+
+	fmt.Println("\nexpectation (paper §IV-C/§V): under round-robin, block announcements")
+	fmt.Println("queue behind pending transaction traffic and reach the last connection")
+	fmt.Println("late (the tail); the §V priority relay lets blocks jump those queues,")
+	fmt.Println("collapsing the block tail at a small cost to transaction tails;")
+	fmt.Println("broadcast is the theoretical lower bound the literature assumes.")
+	return nil
+}

@@ -1,0 +1,597 @@
+// Package addrman reimplements Bitcoin Core's address manager (addrman),
+// the component the paper's §IV-B identifies as a root cause of poor
+// synchronization: it stores every address learned from ADDR gossip in a
+// "new" table and promotes addresses it has successfully connected to into
+// a "tried" table, selecting between the two with equal probability when
+// opening outbound connections. Because ADDR gossip is dominated by
+// unreachable addresses (85.1% in the paper's measurements), the new table
+// fills with addresses that can never be connected to, driving the 88.8%
+// outbound connection failure rate the paper reports.
+//
+// The package also implements the two §V refinements so they can be
+// evaluated: a tried-only GETADDR response mode and a configurable
+// eviction horizon (the paper proposes lowering Bitcoin Core's 30 days to
+// 17 days, matching the measured mean node lifetime of 16.6 days).
+package addrman
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Table geometry and policy defaults, matching Bitcoin Core.
+const (
+	// NewBucketCount is the number of buckets in the new table.
+	NewBucketCount = 1024
+	// TriedBucketCount is the number of buckets in the tried table.
+	TriedBucketCount = 256
+	// BucketSize is the number of slots per bucket.
+	BucketSize = 64
+
+	// DefaultHorizon is how long an address may sit in a table without a
+	// successful connection before IsTerrible evicts it. Bitcoin Core uses
+	// 30 days; the paper's §V proposes 17 days.
+	DefaultHorizon = 30 * 24 * time.Hour
+
+	// retriesBeforeTerrible is the number of failed attempts after which a
+	// never-successful address is considered terrible.
+	retriesBeforeTerrible = 3
+	// maxFailures is the failed-attempt budget within minFailDays for an
+	// address that has succeeded before.
+	maxFailures = 10
+	// minFailWindow is the window over which maxFailures applies.
+	minFailWindow = 7 * 24 * time.Hour
+
+	// getAddrMaxPct is the percentage of known addresses returned by
+	// GetAddr.
+	getAddrMaxPct = 23
+	// getAddrMax is the hard cap on addresses returned by GetAddr.
+	getAddrMax = 1000
+)
+
+// Config controls address manager policy.
+type Config struct {
+	// Key seeds the bucket placement hashing; two managers with the same
+	// key place addresses identically.
+	Key uint64
+	// Horizon is the eviction age (DefaultHorizon when zero). The paper's
+	// §V refinement sets this to 17 days.
+	Horizon time.Duration
+	// TriedOnlyGetAddr makes GetAddr sample exclusively from the tried
+	// table, the paper's §V addressing-protocol refinement.
+	TriedOnlyGetAddr bool
+	// Now supplies the current time; defaults to time.Now. Simulations
+	// inject virtual clocks here.
+	Now func() time.Time
+	// Rand supplies randomness; defaults to a private source seeded from
+	// Key for determinism.
+	Rand *rand.Rand
+}
+
+// addrInfo is the per-address bookkeeping record.
+type addrInfo struct {
+	addr     wire.NetAddress
+	source   netip.Addr // who told us about this address
+	lastTry  time.Time  // last connection attempt
+	lastGood time.Time  // last successful connection
+	attempts int        // failed attempts since last success
+	inTried  bool
+	refCount int // number of new-table slots referencing this address
+	listPos  int // index in the owning key list (newList or triedList)
+	// newSlots records the (bucket, slot) locations of this address's
+	// new-table references, so clearing them is O(refs) instead of a
+	// scan over every bucket.
+	newSlots [][2]int16
+}
+
+// AddrMan is the address manager. It is safe for concurrent use.
+type AddrMan struct {
+	mu  sync.Mutex
+	cfg Config
+
+	info map[netip.AddrPort]*addrInfo
+
+	// newTable[bucket][slot] and triedTable[bucket][slot] hold address
+	// keys; the zero AddrPort marks an empty slot.
+	newTable   [NewBucketCount][BucketSize]netip.AddrPort
+	triedTable [TriedBucketCount][BucketSize]netip.AddrPort
+
+	// newList and triedList hold the unique keys of each table for O(1)
+	// uniform sampling in Select; positions are tracked in addrInfo.
+	newList   []netip.AddrPort
+	triedList []netip.AddrPort
+
+	nNew   int // occupied new-table slots referencing unique addresses
+	nTried int
+}
+
+// listAppend appends key to the given list, recording its position.
+func (a *AddrMan) listAppend(list *[]netip.AddrPort, key netip.AddrPort, info *addrInfo) {
+	info.listPos = len(*list)
+	*list = append(*list, key)
+}
+
+// listRemove removes the entry at info.listPos from list via swap-remove,
+// fixing up the moved element's recorded position.
+func (a *AddrMan) listRemove(list *[]netip.AddrPort, info *addrInfo) {
+	l := *list
+	pos := info.listPos
+	last := len(l) - 1
+	if pos != last {
+		moved := l[last]
+		l[pos] = moved
+		if mi := a.info[moved]; mi != nil {
+			mi.listPos = pos
+		}
+	}
+	*list = l[:last]
+	info.listPos = -1
+}
+
+// New creates an address manager with the given configuration.
+func New(cfg Config) *AddrMan {
+	if cfg.Horizon == 0 {
+		cfg.Horizon = DefaultHorizon
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Rand == nil {
+		cfg.Rand = rand.New(rand.NewSource(int64(cfg.Key) ^ 0x5deece66d))
+	}
+	return &AddrMan{
+		cfg:  cfg,
+		info: make(map[netip.AddrPort]*addrInfo),
+	}
+}
+
+// groupOf maps an address to its network group (a /16 for IPv4, /32 for
+// IPv6), the unit Bitcoin Core uses to limit bucket concentration from a
+// single network neighbourhood. The group is returned as a packed uint64.
+func groupOf(a netip.Addr) uint64 {
+	if a.Is4() {
+		b := a.As4()
+		return 4<<32 | uint64(b[0])<<8 | uint64(b[1])
+	}
+	b := a.As16()
+	return 6<<32 | uint64(b[0])<<24 | uint64(b[1])<<16 |
+		uint64(b[2])<<8 | uint64(b[3])
+}
+
+// fnvMix folds v into an FNV-1a style accumulator. Bucket placement only
+// needs a well-distributed keyed hash, not a cryptographic one (Bitcoin
+// Core uses SipHash here for DoS resistance; our threat model is a
+// simulation).
+func fnvMix(h, v uint64) uint64 {
+	const prime = 1099511628211
+	for i := 0; i < 8; i++ {
+		h ^= (v >> (8 * i)) & 0xff
+		h *= prime
+	}
+	return h
+}
+
+// addrKey packs an AddrPort into two uint64 mixing components.
+func addrKey(addr netip.AddrPort) (uint64, uint64) {
+	b := addr.Addr().As16()
+	hi := uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 |
+		uint64(b[3])<<32 | uint64(b[4])<<24 | uint64(b[5])<<16 |
+		uint64(b[6])<<8 | uint64(b[7])
+	lo := uint64(b[8])<<56 | uint64(b[9])<<48 | uint64(b[10])<<40 |
+		uint64(b[11])<<32 | uint64(b[12])<<24 | uint64(b[13])<<16 |
+		uint64(b[14])<<8 | uint64(b[15])
+	return hi, lo ^ uint64(addr.Port())<<48
+}
+
+// newBucketFor places an address learned from source into a new-table
+// bucket determined by (key, addr group, source group).
+func (a *AddrMan) newBucketFor(addr netip.AddrPort, source netip.Addr) int {
+	h := fnvMix(0xcbf29ce484222325^a.cfg.Key, 1)
+	h = fnvMix(h, groupOf(addr.Addr()))
+	h = fnvMix(h, groupOf(source))
+	return int(h % NewBucketCount)
+}
+
+// triedBucketFor places an address into a tried-table bucket determined by
+// (key, full address).
+func (a *AddrMan) triedBucketFor(addr netip.AddrPort) int {
+	hi, lo := addrKey(addr)
+	h := fnvMix(0xcbf29ce484222325^a.cfg.Key, 2)
+	h = fnvMix(h, hi)
+	h = fnvMix(h, lo)
+	return int(h % TriedBucketCount)
+}
+
+// slotFor places an address within a bucket of the given table (0 = new,
+// 1 = tried).
+func (a *AddrMan) slotFor(table int, bucket int, addr netip.AddrPort) int {
+	hi, lo := addrKey(addr)
+	h := fnvMix(0xcbf29ce484222325^a.cfg.Key, uint64(3+table))
+	h = fnvMix(h, uint64(bucket))
+	h = fnvMix(h, hi)
+	h = fnvMix(h, lo)
+	return int(h % BucketSize)
+}
+
+// Add records addresses learned from source (typically the peer that sent
+// the ADDR message). It returns how many were newly added. Addresses
+// already in tried are refreshed but not duplicated.
+func (a *AddrMan) Add(addrs []wire.NetAddress, source netip.Addr) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	added := 0
+	for i := range addrs {
+		if a.addLocked(addrs[i], source) {
+			added++
+		}
+	}
+	return added
+}
+
+func (a *AddrMan) addLocked(na wire.NetAddress, source netip.Addr) bool {
+	key := na.Addr
+	if !key.IsValid() || key.Port() == 0 {
+		return false
+	}
+	now := a.cfg.Now()
+	info, exists := a.info[key]
+	if exists {
+		// Refresh the advertised timestamp, capped to now (peers routinely
+		// advertise future or stale timestamps).
+		if na.Timestamp.After(info.addr.Timestamp) && !na.Timestamp.After(now) {
+			info.addr.Timestamp = na.Timestamp
+		}
+		info.addr.Services |= na.Services
+		if info.inTried {
+			return false
+		}
+		// Already in new; Bitcoin Core may add another new-table reference
+		// from a different source, with decreasing probability.
+		if info.refCount >= 4 || a.cfg.Rand.Intn(1<<info.refCount) != 0 {
+			return false
+		}
+	} else {
+		if na.Timestamp.After(now) {
+			na.Timestamp = now
+		}
+		info = &addrInfo{addr: na, source: source}
+		a.info[key] = info
+	}
+
+	bucket := a.newBucketFor(key, source)
+	slot := a.slotFor(0, bucket, key)
+	occupant := a.newTable[bucket][slot]
+	if occupant == key {
+		return !exists
+	}
+	if occupant.IsValid() {
+		// Evict the occupant if it is terrible; otherwise the incumbent
+		// stays and the newcomer is dropped unless it has no other slot.
+		occInfo := a.info[occupant]
+		if occInfo != nil && a.isTerribleLocked(occInfo, now) {
+			a.removeNewRefLocked(occupant, bucket, slot)
+		} else {
+			if !exists {
+				// Keep the map entry only if it got a slot somewhere.
+				delete(a.info, key)
+			}
+			return false
+		}
+	}
+	a.newTable[bucket][slot] = key
+	info.refCount++
+	info.newSlots = append(info.newSlots, [2]int16{int16(bucket), int16(slot)})
+	if info.refCount == 1 && !info.inTried {
+		a.nNew++
+		a.listAppend(&a.newList, key, info)
+	}
+	return !exists
+}
+
+// removeNewRefLocked clears one new-table reference of addr and deletes
+// the record entirely when no references remain.
+func (a *AddrMan) removeNewRefLocked(addr netip.AddrPort, bucket, slot int) {
+	a.newTable[bucket][slot] = netip.AddrPort{}
+	info := a.info[addr]
+	if info == nil {
+		return
+	}
+	info.refCount--
+	for i, bs := range info.newSlots {
+		if int(bs[0]) == bucket && int(bs[1]) == slot {
+			info.newSlots[i] = info.newSlots[len(info.newSlots)-1]
+			info.newSlots = info.newSlots[:len(info.newSlots)-1]
+			break
+		}
+	}
+	if info.refCount <= 0 && !info.inTried {
+		a.listRemove(&a.newList, info)
+		delete(a.info, addr)
+		a.nNew--
+	}
+}
+
+// Attempt records a failed or in-progress connection attempt to addr.
+func (a *AddrMan) Attempt(addr netip.AddrPort) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if info := a.info[addr]; info != nil {
+		info.lastTry = a.cfg.Now()
+		info.attempts++
+	}
+}
+
+// Good marks addr as successfully connected, promoting it from the new
+// table to the tried table (possibly evicting a colliding tried entry
+// back to new, as Bitcoin Core does).
+func (a *AddrMan) Good(addr netip.AddrPort) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	info := a.info[addr]
+	if info == nil {
+		// Unknown address connected directly (e.g. a manual peer): track it.
+		info = &addrInfo{
+			addr:   wire.NetAddress{Addr: addr, Timestamp: a.cfg.Now()},
+			source: addr.Addr(),
+		}
+		a.info[addr] = info
+		a.nNew++
+		info.refCount = 1
+		a.listAppend(&a.newList, addr, info)
+	}
+	now := a.cfg.Now()
+	info.lastGood = now
+	info.lastTry = now
+	info.attempts = 0
+	info.addr.Timestamp = now
+	if info.inTried {
+		return
+	}
+	// Clear all new-table references via their recorded locations.
+	for _, bs := range info.newSlots {
+		if a.newTable[bs[0]][bs[1]] == addr {
+			a.newTable[bs[0]][bs[1]] = netip.AddrPort{}
+		}
+	}
+	info.newSlots = nil
+	info.refCount = 0
+	a.nNew--
+	a.listRemove(&a.newList, info)
+
+	bucket := a.triedBucketFor(addr)
+	slot := a.slotFor(1, bucket, addr)
+	if occupant := a.triedTable[bucket][slot]; occupant.IsValid() && occupant != addr {
+		// Demote the occupant back into the new table (test-before-evict
+		// is approximated by unconditional demotion, Bitcoin Core's
+		// pre-feeler behaviour).
+		if occInfo := a.info[occupant]; occInfo != nil {
+			occInfo.inTried = false
+			a.nTried--
+			a.listRemove(&a.triedList, occInfo)
+			a.reinsertIntoNewLocked(occupant, occInfo)
+		}
+	}
+	a.triedTable[bucket][slot] = addr
+	info.inTried = true
+	a.nTried++
+	a.listAppend(&a.triedList, addr, info)
+}
+
+// reinsertIntoNewLocked places a demoted tried address back into the new
+// table, dropping it when the target slot holds a healthy incumbent.
+func (a *AddrMan) reinsertIntoNewLocked(addr netip.AddrPort, info *addrInfo) {
+	bucket := a.newBucketFor(addr, info.source)
+	slot := a.slotFor(0, bucket, addr)
+	occupant := a.newTable[bucket][slot]
+	if occupant.IsValid() && occupant != addr {
+		occInfo := a.info[occupant]
+		if occInfo == nil || !a.isTerribleLocked(occInfo, a.cfg.Now()) {
+			delete(a.info, addr)
+			return
+		}
+		a.removeNewRefLocked(occupant, bucket, slot)
+	}
+	a.newTable[bucket][slot] = addr
+	info.refCount = 1
+	info.newSlots = append(info.newSlots[:0], [2]int16{int16(bucket), int16(slot)})
+	a.nNew++
+	a.listAppend(&a.newList, addr, info)
+}
+
+// isTerribleLocked reports whether an address should be evicted, matching
+// Bitcoin Core's IsTerrible with a configurable horizon.
+func (a *AddrMan) isTerribleLocked(info *addrInfo, now time.Time) bool {
+	if !info.lastTry.IsZero() && now.Sub(info.lastTry) < time.Minute {
+		// Tried in the last minute: never consider terrible.
+		return false
+	}
+	ts := info.addr.Timestamp
+	if ts.After(now.Add(10 * time.Minute)) {
+		return true // timestamp from the future
+	}
+	if ts.IsZero() || now.Sub(ts) > a.cfg.Horizon {
+		return true // not seen within the horizon
+	}
+	if info.lastGood.IsZero() && info.attempts >= retriesBeforeTerrible {
+		return true // never connected despite several attempts
+	}
+	if !info.lastGood.IsZero() && now.Sub(info.lastGood) > minFailWindow &&
+		info.attempts >= maxFailures {
+		return true // repeatedly failing recently
+	}
+	return false
+}
+
+// IsTerrible reports whether addr is currently eligible for eviction.
+func (a *AddrMan) IsTerrible(addr netip.AddrPort) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	info := a.info[addr]
+	if info == nil {
+		return false
+	}
+	return a.isTerribleLocked(info, a.cfg.Now())
+}
+
+// Select picks an address to connect to. With newOnly false it chooses
+// between the tried and new tables with equal probability (when both are
+// non-empty), then samples within the chosen table — the selection rule
+// whose consequences §IV-B measures. It returns the zero value and false
+// when no address is available.
+func (a *AddrMan) Select(newOnly bool) (wire.NetAddress, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.info) == 0 {
+		return wire.NetAddress{}, false
+	}
+	useTried := !newOnly && len(a.triedList) > 0 &&
+		(len(a.newList) == 0 || a.cfg.Rand.Intn(2) == 0)
+	var list []netip.AddrPort
+	if useTried {
+		list = a.triedList
+	} else {
+		list = a.newList
+	}
+	if len(list) == 0 {
+		return wire.NetAddress{}, false
+	}
+	key := list[a.cfg.Rand.Intn(len(list))]
+	info := a.info[key]
+	if info == nil {
+		return wire.NetAddress{}, false
+	}
+	return info.addr, true
+}
+
+// GetAddr returns the GETADDR response sample: up to 23% of known
+// addresses, capped at 1000. With TriedOnlyGetAddr set (§V refinement) the
+// sample comes exclusively from the tried table.
+func (a *AddrMan) GetAddr() []wire.NetAddress {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	pool := make([]*addrInfo, 0, len(a.info))
+	now := a.cfg.Now()
+	// Iterate the key lists (deterministic order), not the map: sampling
+	// below must be reproducible for a given Rand stream.
+	for _, list := range [][]netip.AddrPort{a.newList, a.triedList} {
+		for _, key := range list {
+			info := a.info[key]
+			if info == nil {
+				continue
+			}
+			if a.cfg.TriedOnlyGetAddr && !info.inTried {
+				continue
+			}
+			if a.isTerribleLocked(info, now) {
+				continue
+			}
+			pool = append(pool, info)
+		}
+	}
+	want := len(a.info) * getAddrMaxPct / 100
+	if want > getAddrMax {
+		want = getAddrMax
+	}
+	if want < 1 {
+		want = 1
+	}
+	if want > len(pool) {
+		want = len(pool)
+	}
+	// Partial Fisher-Yates for an unbiased sample.
+	out := make([]wire.NetAddress, 0, want)
+	for i := 0; i < want; i++ {
+		j := i + a.cfg.Rand.Intn(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+		out = append(out, pool[i].addr)
+	}
+	return out
+}
+
+// Evict removes every address IsTerrible condemns and returns how many
+// were removed. Bitcoin Core performs this lazily on collisions; exposing
+// it lets the §V horizon refinement be measured directly.
+func (a *AddrMan) Evict() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.cfg.Now()
+	removed := 0
+	// Deterministic removal order (the map iteration order would leak
+	// into the key lists' layout and hence into Select's sampling).
+	keys := make([]netip.AddrPort, 0, len(a.info))
+	for key := range a.info {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return addrLess(keys[i], keys[j]) })
+	for _, key := range keys {
+		info := a.info[key]
+		if !a.isTerribleLocked(info, now) {
+			continue
+		}
+		if info.inTried {
+			b := a.triedBucketFor(key)
+			s := a.slotFor(1, b, key)
+			if a.triedTable[b][s] == key {
+				a.triedTable[b][s] = netip.AddrPort{}
+			}
+			a.nTried--
+			a.listRemove(&a.triedList, info)
+		} else {
+			for _, bs := range info.newSlots {
+				if a.newTable[bs[0]][bs[1]] == key {
+					a.newTable[bs[0]][bs[1]] = netip.AddrPort{}
+				}
+			}
+			a.nNew--
+			a.listRemove(&a.newList, info)
+		}
+		delete(a.info, key)
+		removed++
+	}
+	return removed
+}
+
+// addrLess orders AddrPorts by IP bytes then port.
+func addrLess(x, y netip.AddrPort) bool {
+	xb, yb := x.Addr().As16(), y.Addr().As16()
+	if c := bytes.Compare(xb[:], yb[:]); c != 0 {
+		return c < 0
+	}
+	return x.Port() < y.Port()
+}
+
+// Counts returns the number of unique addresses in the new and tried
+// tables.
+func (a *AddrMan) Counts() (numNew, numTried int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.nNew, a.nTried
+}
+
+// Size returns the total number of tracked addresses.
+func (a *AddrMan) Size() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.info)
+}
+
+// InTried reports whether addr currently resides in the tried table.
+func (a *AddrMan) InTried(addr netip.AddrPort) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	info := a.info[addr]
+	return info != nil && info.inTried
+}
+
+// Have reports whether addr is known at all.
+func (a *AddrMan) Have(addr netip.AddrPort) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.info[addr] != nil
+}

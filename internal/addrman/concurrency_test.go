@@ -1,0 +1,54 @@
+package addrman
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TestConcurrentAccess hammers the manager from several goroutines; run
+// with -race to validate the locking discipline.
+func TestConcurrentAccess(t *testing.T) {
+	am := New(Config{Key: 9, Now: func() time.Time {
+		return time.Unix(1586000000, 0)
+	}})
+	src := netip.AddrFrom4([4]byte{9, 9, 9, 9})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				addr := netip.AddrPortFrom(
+					netip.AddrFrom4([4]byte{byte(w + 1), byte(i >> 8), byte(i), 1}), 8333)
+				am.Add([]wire.NetAddress{{
+					Addr: addr, Timestamp: time.Unix(1586000000, 0),
+				}}, src)
+				switch i % 5 {
+				case 0:
+					am.Good(addr)
+				case 1:
+					am.Attempt(addr)
+				case 2:
+					am.Select(false)
+				case 3:
+					am.GetAddr()
+				case 4:
+					am.Counts()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if am.Size() == 0 {
+		t.Fatal("manager empty after concurrent inserts")
+	}
+	numNew, numTried := am.Counts()
+	if numNew+numTried != am.Size() {
+		t.Errorf("counts %d+%d != size %d", numNew, numTried, am.Size())
+	}
+}

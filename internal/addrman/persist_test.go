@@ -1,0 +1,138 @@
+package addrman
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	clk := baseClock()
+	am := newTestManager(clk)
+	src := netip.AddrFrom4([4]byte{9, 9, 9, 9})
+	var addrs []netip.AddrPort
+	for i := 0; i < 300; i++ {
+		a := ap(byte(i>>8)+1, byte(i), 7, 1, 8333)
+		am.Add([]wire.NetAddress{{Addr: a, Services: wire.SFNodeNetwork,
+			Timestamp: clk.now}}, src)
+		addrs = append(addrs, a)
+	}
+	for i := 0; i < 50; i++ {
+		am.Good(addrs[i])
+	}
+	for i := 50; i < 80; i++ {
+		am.Attempt(addrs[i])
+	}
+
+	var buf bytes.Buffer
+	if err := am.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(Config{
+		Key:  42,
+		Now:  clk.Now,
+		Rand: rand.New(rand.NewSource(7)),
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if loaded.Size() != am.Size() {
+		t.Errorf("size = %d, want %d", loaded.Size(), am.Size())
+	}
+	numNewA, numTriedA := am.Counts()
+	numNewB, numTriedB := loaded.Counts()
+	if numNewA != numNewB || numTriedA != numTriedB {
+		t.Errorf("counts = %d/%d, want %d/%d", numNewB, numTriedB, numNewA, numTriedA)
+	}
+	// Tried membership preserved.
+	for i := 0; i < 50; i++ {
+		if !loaded.InTried(addrs[i]) {
+			t.Fatalf("%v lost its tried status on reload", addrs[i])
+		}
+	}
+	// Every reloaded address is selectable and known.
+	for i := 0; i < 20; i++ {
+		na, ok := loaded.Select(false)
+		if !ok {
+			t.Fatal("Select failed after reload")
+		}
+		if !loaded.Have(na.Addr) {
+			t.Fatal("Select returned unknown address after reload")
+		}
+	}
+}
+
+func TestSaveLoadPreservesEvictionState(t *testing.T) {
+	// An address saved with old timestamps must be evictable after load.
+	clk := baseClock()
+	am := newTestManager(clk)
+	src := netip.AddrFrom4([4]byte{9, 9, 9, 9})
+	old := ap(1, 2, 3, 4, 8333)
+	am.Add([]wire.NetAddress{{Addr: old, Timestamp: clk.now}}, src)
+
+	var buf bytes.Buffer
+	if err := am.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Reload 31 days later: the address is beyond the horizon.
+	clk.advance(31 * 24 * time.Hour)
+	loaded, err := Load(Config{Key: 42, Now: clk.Now,
+		Rand: rand.New(rand.NewSource(7))}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.IsTerrible(old) {
+		t.Error("stale reloaded address should be terrible")
+	}
+	if removed := loaded.Evict(); removed != 1 {
+		t.Errorf("Evict removed %d, want 1", removed)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":     "",
+		"bad-magic": "NOPE\x01\x00\x00\x00\x00\x00",
+		"truncated": "ADRM\x01\x00\xff\x00\x00\x00",
+	}
+	for name, raw := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := Load(Config{Key: 1}, strings.NewReader(raw))
+			if err == nil {
+				t.Error("garbage accepted")
+			}
+		})
+	}
+}
+
+func TestLoadRejectsHugeCount(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("ADRM")
+	buf.Write([]byte{1, 0})                   // version
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff}) // count ~4B
+	if _, err := Load(Config{Key: 1}, &buf); err == nil {
+		t.Error("hostile count accepted")
+	}
+}
+
+func TestSaveLoadEmpty(t *testing.T) {
+	clk := baseClock()
+	am := newTestManager(clk)
+	var buf bytes.Buffer
+	if err := am.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(Config{Key: 42, Now: clk.Now}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Size() != 0 {
+		t.Errorf("size = %d, want 0", loaded.Size())
+	}
+}

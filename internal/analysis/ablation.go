@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/stats"
+)
+
+// This file implements the §V refinement ablation: the same network is
+// run under the stock Bitcoin Core configuration and under each proposed
+// refinement (tried-only ADDR responses, the 17-day eviction horizon,
+// priority block relay), measuring connection success, relay delay, and
+// observed synchronization.
+
+// AblationVariant names one configuration under test.
+type AblationVariant struct {
+	// Name labels the variant.
+	Name string
+	// RelayPolicy, TriedOnlyGetAddr, and AddrHorizon are the §V toggles.
+	RelayPolicy      node.RelayPolicy
+	TriedOnlyGetAddr bool
+	AddrHorizon      time.Duration
+}
+
+// StockVariants returns the canonical ablation ladder: stock Bitcoin
+// Core, each refinement alone, and all three together.
+func StockVariants() []AblationVariant {
+	const seventeenDays = 17 * 24 * time.Hour
+	return []AblationVariant{
+		{Name: "stock", RelayPolicy: node.RoundRobin},
+		{Name: "tried-only-addr", RelayPolicy: node.RoundRobin, TriedOnlyGetAddr: true},
+		{Name: "17d-horizon", RelayPolicy: node.RoundRobin, AddrHorizon: seventeenDays},
+		{Name: "priority-relay", RelayPolicy: node.PriorityOutbound},
+		{Name: "all-refinements", RelayPolicy: node.PriorityOutbound,
+			TriedOnlyGetAddr: true, AddrHorizon: seventeenDays},
+		{Name: "ideal-broadcast", RelayPolicy: node.Broadcast},
+	}
+}
+
+// AblationRow is one variant's measured outcomes.
+type AblationRow struct {
+	// Variant identifies the configuration.
+	Variant AblationVariant
+	// DialSuccessRate is network-wide outbound successes/attempts.
+	DialSuccessRate float64
+	// ColdStartSuccessRate is a fresh node's dial success during its
+	// first five minutes under this variant's gossip (the Figure 7
+	// setting) — where the §V addressing refinements bite.
+	ColdStartSuccessRate float64
+	// MeanObservedSync is the Figure 1 metric under this variant.
+	MeanObservedSync float64
+	// MeanBlockRelay and MaxBlockRelay summarize last-connection block
+	// relay delays.
+	MeanBlockRelay, MaxBlockRelay time.Duration
+	// MeanOutdegree is the average outbound connection count.
+	MeanOutdegree float64
+}
+
+// AblationResult is the §V comparison table.
+type AblationResult struct {
+	// Rows, in StockVariants order.
+	Rows []AblationRow
+}
+
+// RunAblation measures every variant on an identical workload, plus a
+// cold-start connection experiment per variant for the addressing
+// refinements.
+func RunAblation(base PropagationConfig, variants []AblationVariant) (*AblationResult, error) {
+	if len(variants) == 0 {
+		variants = StockVariants()
+	}
+	res := &AblationResult{}
+	for _, v := range variants {
+		cfg := base
+		cfg.RelayPolicy = v.RelayPolicy
+		cfg.TriedOnlyGetAddr = v.TriedOnlyGetAddr
+		cfg.AddrHorizon = v.AddrHorizon
+		out, err := RunPropagation(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: ablation %q: %w", v.Name, err)
+		}
+		cold, err := RunConnExperiment(ConnExperimentConfig{
+			Seed:              base.Seed,
+			LivePeers:         base.NumReachable / 2,
+			Duration:          5 * time.Minute,
+			PeerChurnPer10Min: 2,
+			ConnDropEvery:     40 * time.Second,
+			TriedOnlyGetAddr:  v.TriedOnlyGetAddr,
+			AddrHorizon:       v.AddrHorizon,
+			Runs:              3,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("analysis: ablation cold-start %q: %w", v.Name, err)
+		}
+		row := AblationRow{
+			Variant:              v,
+			MeanOutdegree:        out.MeanOutdegree,
+			ColdStartSuccessRate: cold.SuccessRate,
+		}
+		if out.DialAttempts > 0 {
+			row.DialSuccessRate = float64(out.DialSuccesses) / float64(out.DialAttempts)
+		}
+		if len(out.ObservedSyncSamples) > 0 {
+			row.MeanObservedSync = stats.Mean(out.ObservedSyncSamples)
+		}
+		if len(out.BlockRelays) > 0 {
+			var sum, max time.Duration
+			for _, o := range out.BlockRelays {
+				sum += o.LastDelay
+				if o.LastDelay > max {
+					max = o.LastDelay
+				}
+			}
+			row.MeanBlockRelay = sum / time.Duration(len(out.BlockRelays))
+			row.MaxBlockRelay = max
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// RelayDelayStats summarizes a relay-delay distribution (Figures 10/11).
+type RelayDelayStats struct {
+	// Count is the number of (node, object) observations.
+	Count int
+	// Mean, Max, P50, P90, P99, P997 are in seconds. P997 approximates
+	// the maximum the paper would observe in its ~288-observation
+	// two-day single-node sample (1/288 ≈ the 99.7th percentile); the
+	// raw Max over our much larger sample sits deeper in the tail.
+	Mean, Max, P50, P90, P99, P997 float64
+	// Series is the raw per-observation delay series in seconds (for
+	// figure output).
+	Series []float64
+}
+
+// SummarizeRelays folds observations into RelayDelayStats.
+func SummarizeRelays(obs []RelayObservation) RelayDelayStats {
+	out := RelayDelayStats{Count: len(obs)}
+	if len(obs) == 0 {
+		return out
+	}
+	out.Series = RelayDelaysSeconds(obs)
+	s := stats.MustSummarize(out.Series)
+	qs := stats.Quantiles(out.Series, []float64{0.5, 0.9, 0.99, 0.9965})
+	out.Mean, out.Max = s.Mean, s.Max
+	out.P50, out.P90, out.P99, out.P997 = qs[0], qs[1], qs[2], qs[3]
+	return out
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/netgen"
+)
+
+func TestCrawlSeriesScanSampling(t *testing.T) {
+	// A sampled scan must estimate the responsive count close to the
+	// full scan's, at a fraction of the probes.
+	u, err := netgen.Generate(netgen.DefaultParams(31, 0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := RunCrawlSeriesOn(u, CrawlSeriesConfig{
+		Experiments:            4,
+		ScannerStartExperiment: 0,
+		ScanSampleFraction:     1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := RunCrawlSeriesOn(u, CrawlSeriesConfig{
+		Experiments:            4,
+		ScannerStartExperiment: 0,
+		ScanSampleFraction:     0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.TotalResponsive == 0 {
+		t.Fatal("full scan found nothing")
+	}
+	ratio := float64(sampled.TotalResponsive) / float64(full.TotalResponsive)
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Errorf("sampled/full responsive ratio = %.2f, want ≈1", ratio)
+	}
+}
+
+func TestCrawlSeriesOnReusedUniverse(t *testing.T) {
+	// Two runs on the same universe must agree exactly (determinism).
+	u, err := netgen.Generate(netgen.DefaultParams(32, 0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := CrawlSeriesConfig{Experiments: 3, ScannerStartExperiment: 99}
+	a, err := RunCrawlSeriesOn(u, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCrawlSeriesOn(u, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalUniqueUnreachable != b.TotalUniqueUnreachable {
+		t.Errorf("unreachable totals differ: %d vs %d",
+			a.TotalUniqueUnreachable, b.TotalUniqueUnreachable)
+	}
+	if a.UniqueConnected != b.UniqueConnected {
+		t.Errorf("connected totals differ: %d vs %d", a.UniqueConnected, b.UniqueConnected)
+	}
+	for i := range a.Experiments {
+		if a.Experiments[i].Connected != b.Experiments[i].Connected {
+			t.Fatalf("experiment %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestCrawlSeriesInvalidHorizon(t *testing.T) {
+	p := netgen.DefaultParams(33, 0.02)
+	p.CrawlInterval = p.Horizon * 2
+	if _, err := RunCrawlSeries(CrawlSeriesConfig{Params: p}); err == nil {
+		t.Error("want error when horizon is shorter than crawl interval")
+	}
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// TestRunPropagationDeterministic: identical configurations must produce
+// bit-identical results — the reproducibility guarantee every experiment
+// in this repository rests on.
+func TestRunPropagationDeterministic(t *testing.T) {
+	cfg := PropagationConfig{
+		Seed:                    77,
+		NumReachable:            30,
+		Duration:                45 * time.Minute,
+		TxPerBlock:              20,
+		ChurnDeparturesPer10Min: 1,
+	}
+	a, err := RunPropagation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunPropagation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BlocksMined != b.BlocksMined {
+		t.Errorf("blocks: %d vs %d", a.BlocksMined, b.BlocksMined)
+	}
+	if a.DialAttempts != b.DialAttempts || a.DialSuccesses != b.DialSuccesses {
+		t.Errorf("dials: %d/%d vs %d/%d",
+			a.DialAttempts, a.DialSuccesses, b.DialAttempts, b.DialSuccesses)
+	}
+	if len(a.ObservedSyncSamples) != len(b.ObservedSyncSamples) {
+		t.Fatalf("sample counts differ: %d vs %d",
+			len(a.ObservedSyncSamples), len(b.ObservedSyncSamples))
+	}
+	for i := range a.ObservedSyncSamples {
+		if a.ObservedSyncSamples[i] != b.ObservedSyncSamples[i] {
+			t.Fatalf("sync sample %d differs: %v vs %v",
+				i, a.ObservedSyncSamples[i], b.ObservedSyncSamples[i])
+		}
+	}
+	if len(a.BlockRelays) != len(b.BlockRelays) {
+		t.Errorf("relay observation counts differ: %d vs %d",
+			len(a.BlockRelays), len(b.BlockRelays))
+	}
+	sa := stats.Mean(RelayDelaysSeconds(a.BlockRelays))
+	sb := stats.Mean(RelayDelaysSeconds(b.BlockRelays))
+	if sa != sb {
+		t.Errorf("mean relay delay differs: %v vs %v", sa, sb)
+	}
+}
+
+// TestSeedChangesOutcome: different seeds must explore different
+// trajectories (guards against accidentally ignoring the seed).
+func TestSeedChangesOutcome(t *testing.T) {
+	base := PropagationConfig{
+		NumReachable: 30,
+		Duration:     30 * time.Minute,
+		TxPerBlock:   10,
+	}
+	a := base
+	a.Seed = 1
+	b := base
+	b.Seed = 2
+	ra, err := RunPropagation(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := RunPropagation(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.DialAttempts == rb.DialAttempts && ra.BlocksMined == rb.BlocksMined &&
+		len(ra.TxRelays) == len(rb.TxRelays) {
+		t.Error("different seeds produced identical trajectories")
+	}
+}

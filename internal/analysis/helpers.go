@@ -1,0 +1,31 @@
+package analysis
+
+import (
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/wire"
+)
+
+// chainGenesis builds the genesis block used by analysis experiments.
+func chainGenesis(tag string) *wire.MsgBlock {
+	return chain.GenesisBlock(tag)
+}
+
+// DurationsToSeconds converts a duration slice to float seconds.
+func DurationsToSeconds(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+// RelayDelaysSeconds extracts the last-connection delays in seconds.
+func RelayDelaysSeconds(obs []RelayObservation) []float64 {
+	out := make([]float64, len(obs))
+	for i, o := range obs {
+		out[i] = o.LastDelay.Seconds()
+	}
+	return out
+}

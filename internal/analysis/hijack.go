@@ -1,0 +1,233 @@
+package analysis
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/asmap"
+	"repro/internal/node"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// This file extends the paper's §IV-A1 routing-attack revision from a
+// counting argument to a live experiment: build a network whose nodes are
+// placed in ASes per the Table I distribution, take the top-k ASes off
+// the air (a BGP hijack blackholes their prefixes), and measure what
+// actually happens to the survivors' connectivity and synchronization —
+// not just what fraction of nodes was hosted there.
+
+// HijackConfig parameterizes the partition experiment.
+type HijackConfig struct {
+	// Seed drives all randomness.
+	Seed int64
+	// NumReachable is the live network size.
+	NumReachable int
+	// HijackTopASes is how many of the largest ASes are blackholed.
+	HijackTopASes int
+	// At is when the hijack strikes, after the topology forms.
+	At time.Duration
+	// Observe is how long after the hijack the survivors are measured.
+	Observe time.Duration
+}
+
+func (c HijackConfig) withDefaults() HijackConfig {
+	if c.NumReachable == 0 {
+		c.NumReachable = 120
+	}
+	if c.HijackTopASes == 0 {
+		c.HijackTopASes = 8
+	}
+	if c.At == 0 {
+		c.At = 30 * time.Minute
+	}
+	if c.Observe == 0 {
+		c.Observe = 30 * time.Minute
+	}
+	return c
+}
+
+// HijackResult reports the partition experiment.
+type HijackResult struct {
+	// HijackedASes lists the blackholed ASNs.
+	HijackedASes []uint32
+	// IsolatedShare is the fraction of nodes taken off the air directly.
+	IsolatedShare float64
+	// SurvivorMeanOutdegreeBefore/After contrast the survivors'
+	// connectivity.
+	SurvivorMeanOutdegreeBefore, SurvivorMeanOutdegreeAfter float64
+	// SurvivorsAtTip is the fraction of surviving nodes at the chain tip
+	// at the end of the observation window (blocks keep being mined).
+	SurvivorsAtTip float64
+	// BlocksMinedAfter counts post-hijack blocks.
+	BlocksMinedAfter int
+}
+
+// RunHijack executes the partition experiment.
+func RunHijack(cfg HijackConfig) (*HijackResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumReachable < 10 {
+		return nil, fmt.Errorf("analysis: hijack needs at least 10 nodes, got %d", cfg.NumReachable)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Place nodes in ASes per the paper's reachable distribution.
+	weights := asmap.PowerLawWeights(map[uint32]float64{
+		3320: .0808, 24940: .0505, 8881: .0460, 16509: .0362, 6805: .0297,
+		14061: .0284, 7922: .0255, 16276: .0243, 3209: .0206, 4134: .0076,
+	}, 200, 100000, 0.65)
+	dist, err := asmap.NewDistribution(weights)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: hijack distribution: %w", err)
+	}
+	alloc := asmap.NewIPAllocator(1 << 12)
+
+	net := simnet.New(simnet.Config{
+		Seed:    cfg.Seed,
+		Latency: simnet.ASLatency(alloc, 8*time.Millisecond, 30*time.Millisecond, 120*time.Millisecond),
+	})
+	sched := net.Scheduler()
+	genesis := chainGenesis("hijack")
+
+	type placed struct {
+		host *simnet.Host
+		asn  uint32
+	}
+	var hosts []placed
+	var addrs []netip.AddrPort
+	for i := 0; i < cfg.NumReachable; i++ {
+		asn := dist.Sample(rng)
+		ip, err := alloc.Alloc(asn)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: alloc: %w", err)
+		}
+		addrs = append(addrs, netip.AddrPortFrom(ip, 8333))
+		hosts = append(hosts, placed{asn: asn})
+	}
+	for i := range hosts {
+		seeds := make([]wire.NetAddress, 0, 20)
+		for len(seeds) < 20 {
+			a := addrs[rng.Intn(len(addrs))]
+			if a == addrs[i] {
+				continue
+			}
+			seeds = append(seeds, wire.NetAddress{
+				Addr: a, Services: wire.SFNodeNetwork, Timestamp: net.Now(),
+			})
+		}
+		hosts[i].host = net.AddFullNode(node.Config{
+			Self:      wire.NetAddress{Addr: addrs[i], Services: wire.SFNodeNetwork},
+			Reachable: true,
+			Genesis:   genesis,
+			SeedAddrs: seeds,
+		})
+		hosts[i].host.Start()
+	}
+	sched.RunFor(cfg.At)
+
+	// Identify the top-k ASes by hosted nodes.
+	census := asmap.NewCensus()
+	for _, p := range hosts {
+		census.Add(p.asn)
+	}
+	top := census.TopN(cfg.HijackTopASes)
+	hijacked := make(map[uint32]bool, len(top))
+	res := &HijackResult{}
+	for _, s := range top {
+		hijacked[s.ASN] = true
+		res.HijackedASes = append(res.HijackedASes, s.ASN)
+	}
+	sort.Slice(res.HijackedASes, func(i, j int) bool {
+		return res.HijackedASes[i] < res.HijackedASes[j]
+	})
+
+	// Measure survivors' outdegree before the hijack.
+	var survivors []placed
+	for _, p := range hosts {
+		if !hijacked[p.asn] {
+			survivors = append(survivors, p)
+		}
+	}
+	res.IsolatedShare = 1 - float64(len(survivors))/float64(len(hosts))
+	outSum := 0
+	for _, p := range survivors {
+		if n := p.host.Node(); n != nil {
+			out, _, _ := n.ConnCounts()
+			outSum += out
+		}
+	}
+	if len(survivors) > 0 {
+		res.SurvivorMeanOutdegreeBefore = float64(outSum) / float64(len(survivors))
+	}
+
+	// The hijack: every node in a hijacked AS goes dark at once.
+	sched.After(0, func() {
+		for _, p := range hosts {
+			if hijacked[p.asn] {
+				p.host.Stop()
+			}
+		}
+	})
+
+	// Keep mining on survivors through the observation window.
+	end := net.Now().Add(cfg.Observe)
+	var mineTick func()
+	mineTick = func() {
+		if !net.Now().Before(end) {
+			return
+		}
+		best := int32(-1)
+		for _, p := range survivors {
+			if n := p.host.Node(); n != nil {
+				if h := n.Chain().Height(); h > best {
+					best = h
+				}
+			}
+		}
+		for try := 0; try < 10; try++ {
+			p := survivors[rng.Intn(len(survivors))]
+			n := p.host.Node()
+			if n == nil || n.Chain().Height() != best {
+				continue
+			}
+			if _, err := n.MineBlock(0); err == nil {
+				res.BlocksMinedAfter++
+			}
+			break
+		}
+		sched.After(time.Duration(rng.ExpFloat64()*float64(5*time.Minute)), mineTick)
+	}
+	sched.After(time.Minute, mineTick)
+	sched.RunUntil(end)
+
+	// Post-hijack measurements.
+	outSum = 0
+	best := int32(-1)
+	for _, p := range survivors {
+		if n := p.host.Node(); n != nil {
+			if h := n.Chain().Height(); h > best {
+				best = h
+			}
+		}
+	}
+	atTip := 0
+	for _, p := range survivors {
+		n := p.host.Node()
+		if n == nil {
+			continue
+		}
+		out, _, _ := n.ConnCounts()
+		outSum += out
+		if n.Chain().Height() == best {
+			atTip++
+		}
+	}
+	if len(survivors) > 0 {
+		res.SurvivorMeanOutdegreeAfter = float64(outSum) / float64(len(survivors))
+		res.SurvivorsAtTip = float64(atTip) / float64(len(survivors))
+	}
+	return res, nil
+}

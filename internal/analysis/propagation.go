@@ -1,0 +1,544 @@
+// Package analysis implements the paper's measurement pipelines: the
+// message-level propagation experiments (synchronization, connection
+// stability and success, relay delays, the §V ablation) and the
+// snapshot-level studies (crawl series, AS censuses, churn figures). Each
+// Fig*/Table* entry point returns plain data that internal/core renders.
+package analysis
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// PropagationConfig parameterizes a message-level network experiment.
+type PropagationConfig struct {
+	// Seed drives all randomness.
+	Seed int64
+	// NumReachable is the number of live reachable full nodes.
+	NumReachable int
+	// DeadAddrPool is the number of unreachable/dead addresses mixed
+	// into gossip and seeds; dials to them time out, reproducing the
+	// §IV-B failure rate.
+	DeadAddrPool int
+	// AddrReachableShare is the fraction of reachable addresses in each
+	// node's seed set (paper: 14.9% in gossip).
+	AddrReachableShare float64
+	// SeedsPerNode is how many addresses each node starts with.
+	SeedsPerNode int
+	// Warmup lets the topology form before measurement begins.
+	Warmup time.Duration
+	// Duration is the measured phase length.
+	Duration time.Duration
+	// BlockInterval is the mean block production gap (10 min on
+	// mainnet).
+	BlockInterval time.Duration
+	// TxPerBlock is the number of background transactions submitted per
+	// block interval (they fill the round-robin queues).
+	TxPerBlock int
+	// RelayPolicy, CompactBlocks, TriedOnlyGetAddr, and AddrHorizon are
+	// forwarded to every node (the §IV-C/§V toggles).
+	RelayPolicy      node.RelayPolicy
+	CompactBlocks    bool
+	TriedOnlyGetAddr bool
+	AddrHorizon      time.Duration
+	// CompactShare is the fraction of nodes that negotiate BIP-152
+	// compact relay when CompactBlocks is set (default 1.0). The 2020
+	// network mixed compact and legacy peers; a legacy peer receives the
+	// full ~1 MB block body, whose serialization stalls the round-robin
+	// loop and produces the long relay tails of Figure 10.
+	CompactShare float64
+	// ChurnDeparturesPer10Min is the synchronized-node departure rate
+	// driven through the network (paper: 3.9 in 2019, 7.6 in 2020 at
+	// full scale — scale it with NumReachable).
+	ChurnDeparturesPer10Min float64
+	// RejoinAfter is the mean offline period before a departed node
+	// rejoins.
+	RejoinAfter time.Duration
+	// ObserverConnSampleEvery samples the observer node's connection
+	// count at this cadence (0 disables; Figure 6 uses 1 s).
+	ObserverConnSampleEvery time.Duration
+	// BlockSizeHint and BytesPerSec forward to the node timing model
+	// (BytesPerSec is the effective per-socket rate; lower values deepen
+	// the §IV-C queueing delays).
+	BlockSizeHint int
+	BytesPerSec   int
+	// SyncSampleEvery is the cadence at which network synchronization is
+	// sampled (the paper's Bitnodes feed is 10-minutely; denser sampling
+	// reduces estimator variance without changing the mean). Default
+	// 2 minutes.
+	SyncSampleEvery time.Duration
+	// PollInterval is the Bitnodes-style monitor cadence: each node's
+	// height is only observed when the monitor revisits it, so the
+	// observed synchronization lags the true one — this is the
+	// measurement process behind Figure 1 (0 disables the observed
+	// metric).
+	PollInterval time.Duration
+	// ListingTTL keeps recently-departed nodes in the monitor's listing
+	// (they count as unsynchronized until they expire), matching how a
+	// crawler's view lags churn.
+	ListingTTL time.Duration
+}
+
+func (c PropagationConfig) withDefaults() PropagationConfig {
+	if c.NumReachable == 0 {
+		c.NumReachable = 200
+	}
+	if c.AddrReachableShare == 0 {
+		c.AddrReachableShare = 0.149
+	}
+	if c.SeedsPerNode == 0 {
+		c.SeedsPerNode = 200
+	}
+	if c.DeadAddrPool == 0 {
+		c.DeadAddrPool = int(float64(c.NumReachable) / c.AddrReachableShare)
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 20 * time.Minute
+	}
+	if c.Duration == 0 {
+		c.Duration = 4 * time.Hour
+	}
+	if c.BlockInterval == 0 {
+		c.BlockInterval = 10 * time.Minute
+	}
+	if c.RelayPolicy == 0 {
+		c.RelayPolicy = node.RoundRobin
+	}
+	if c.RejoinAfter == 0 {
+		c.RejoinAfter = 30 * time.Minute
+	}
+	if c.CompactShare == 0 {
+		c.CompactShare = 1.0
+	}
+	if c.SyncSampleEvery == 0 {
+		c.SyncSampleEvery = 2 * time.Minute
+	}
+	if c.PollInterval == 0 {
+		c.PollInterval = 5 * time.Minute
+	}
+	if c.ListingTTL == 0 {
+		c.ListingTTL = time.Hour
+	}
+	return c
+}
+
+// RelayObservation is one node's relay-completion record for one object:
+// the delay between receiving it and relaying it to the last connection.
+type RelayObservation struct {
+	// Node reporting the observation.
+	Node netip.AddrPort
+	// LastDelay is the receive-to-last-connection delay (Figure 10/11).
+	LastDelay time.Duration
+	// Fanout is the number of connections relayed to.
+	Fanout int
+}
+
+// PropagationResult aggregates a propagation experiment.
+type PropagationResult struct {
+	// SyncSamples is the true fraction of online nodes at the chain
+	// tip, sampled every SyncSampleEvery.
+	SyncSamples []float64
+	// ObservedSyncSamples is the Bitnodes-style measurement: the
+	// fraction of *listed* nodes (online or recently departed) whose
+	// *last-polled* height equals the tip — Figure 1's actual
+	// observable. Polling lag and churn both depress it.
+	ObservedSyncSamples []float64
+	// BlockRelays and TxRelays hold per-node-per-object relay
+	// observations (Figures 10/11).
+	BlockRelays []RelayObservation
+	TxRelays    []RelayObservation
+	// ObserverConns samples the observer's total connection count
+	// (Figure 6).
+	ObserverConns []int
+	// DialAttempts/DialSuccesses count outbound-slot dials summed over
+	// all nodes (feelers excluded — they probe the new table by design
+	// and would dilute the §V addressing comparisons).
+	DialAttempts  int
+	DialSuccesses int
+	// FeelerAttempts/FeelerSuccesses count feeler dials.
+	FeelerAttempts  int
+	FeelerSuccesses int
+	// ObserverAttempts/ObserverSuccesses cover just the observer node.
+	ObserverAttempts  int
+	ObserverSuccesses int
+	// BlocksMined counts produced blocks.
+	BlocksMined int
+	// MeanOutdegree is the average outbound connection count across
+	// online nodes, sampled per block.
+	MeanOutdegree float64
+}
+
+// relayKey identifies a (node, object) pair for last-delay tracking.
+type relayKey struct {
+	node netip.AddrPort
+	hash [32]byte
+}
+
+// RunPropagation executes the experiment and aggregates its events.
+func RunPropagation(cfg PropagationConfig) (*PropagationResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumReachable < 3 {
+		return nil, fmt.Errorf("analysis: need at least 3 reachable nodes, got %d", cfg.NumReachable)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net := simnet.New(simnet.Config{
+		Seed:    cfg.Seed,
+		Latency: simnet.HashLatency(20*time.Millisecond, 120*time.Millisecond),
+	})
+	sched := net.Scheduler()
+	genesis := propagationGenesis
+
+	// Address plan: live reachable nodes plus a pool of dead addresses.
+	addrs := make([]netip.AddrPort, cfg.NumReachable)
+	for i := range addrs {
+		addrs[i] = netip.AddrPortFrom(
+			netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)}), 8333)
+	}
+	dead := make([]netip.AddrPort, cfg.DeadAddrPool)
+	for i := range dead {
+		dead[i] = netip.AddrPortFrom(
+			netip.AddrFrom4([4]byte{172, byte(i >> 16), byte(i >> 8), byte(i)}), 8333)
+	}
+
+	res := &PropagationResult{}
+	blockLast := make(map[relayKey]time.Duration)
+	blockFan := make(map[relayKey]int)
+	txLast := make(map[relayKey]time.Duration)
+	txFan := make(map[relayKey]int)
+	var measuring bool
+	observer := addrs[0]
+
+	sink := node.SinkFunc(func(ev node.Event) {
+		switch ev.Type {
+		case node.EvDialAttempt:
+			if !measuring {
+				return
+			}
+			if ev.Dir == node.Feeler {
+				res.FeelerAttempts++
+			} else {
+				res.DialAttempts++
+			}
+			if ev.Node == observer {
+				res.ObserverAttempts++
+			}
+		case node.EvDialSuccess:
+			if !measuring {
+				return
+			}
+			if ev.Dir == node.Feeler {
+				res.FeelerSuccesses++
+			} else {
+				res.DialSuccesses++
+			}
+			if ev.Node == observer {
+				res.ObserverSuccesses++
+			}
+		case node.EvBlockRelayed:
+			if !measuring {
+				return
+			}
+			k := relayKey{node: ev.Node, hash: ev.Hash}
+			if ev.Delay > blockLast[k] {
+				blockLast[k] = ev.Delay
+			}
+			blockFan[k]++
+		case node.EvTxRelayed:
+			if !measuring {
+				return
+			}
+			k := relayKey{node: ev.Node, hash: ev.Hash}
+			if ev.Delay > txLast[k] {
+				txLast[k] = ev.Delay
+			}
+			txFan[k]++
+		}
+	})
+
+	// Build hosts.
+	hosts := make([]*simnet.Host, cfg.NumReachable)
+	seedFor := func(self netip.AddrPort) []wire.NetAddress {
+		seeds := make([]wire.NetAddress, 0, cfg.SeedsPerNode)
+		for len(seeds) < cfg.SeedsPerNode {
+			var a netip.AddrPort
+			if rng.Float64() < cfg.AddrReachableShare {
+				a = addrs[rng.Intn(len(addrs))]
+			} else if len(dead) > 0 {
+				a = dead[rng.Intn(len(dead))]
+			} else {
+				a = addrs[rng.Intn(len(addrs))]
+			}
+			if a == self {
+				continue
+			}
+			seeds = append(seeds, wire.NetAddress{
+				Addr: a, Services: wire.SFNodeNetwork, Timestamp: net.Now(),
+			})
+		}
+		return seeds
+	}
+	for i, a := range addrs {
+		compact := cfg.CompactBlocks && rng.Float64() < cfg.CompactShare
+		cfgNode := node.Config{
+			Self:             wire.NetAddress{Addr: a, Services: wire.SFNodeNetwork},
+			Reachable:        true,
+			Genesis:          genesis,
+			SeedAddrs:        seedFor(a),
+			RelayPolicy:      cfg.RelayPolicy,
+			CompactBlocks:    compact,
+			TriedOnlyGetAddr: cfg.TriedOnlyGetAddr,
+			AddrHorizon:      cfg.AddrHorizon,
+			BlockSizeHint:    cfg.BlockSizeHint,
+			BytesPerSec:      cfg.BytesPerSec,
+			AddrManKey:       uint64(cfg.Seed) + uint64(i),
+			Sink:             sink,
+		}
+		hosts[i] = net.AddFullNode(cfgNode)
+	}
+	for _, h := range hosts {
+		h.Start()
+	}
+
+	// Bitnodes-style monitor: each host is revisited on its own cadence
+	// (the real crawler's revisit interval varies per node with crawl
+	// cycle length and reachability), recording its advertised height
+	// and last-seen time.
+	polled := make(map[netip.AddrPort]int32, len(hosts))
+	lastSeen := make(map[netip.AddrPort]time.Time, len(hosts))
+	for i := range hosts {
+		h := hosts[i]
+		interval := time.Duration(float64(cfg.PollInterval) * (0.5 + 2.0*rng.Float64()))
+		var poll func()
+		poll = func() {
+			if n := h.Node(); n != nil {
+				polled[h.Addr()] = n.Chain().Height()
+				lastSeen[h.Addr()] = net.Now()
+			}
+			sched.After(interval, poll)
+		}
+		stagger := time.Duration(rng.Int63n(int64(interval)))
+		sched.After(stagger, poll)
+	}
+
+	// Warmup: let the topology form.
+	sched.RunFor(cfg.Warmup)
+	measuring = true
+
+	end := net.Now().Add(cfg.Duration)
+
+	// Churn driver: departures at the configured rate; departed hosts
+	// rejoin after an exponential offline period with fresh node state.
+	if cfg.ChurnDeparturesPer10Min > 0 {
+		gap := time.Duration(float64(10*time.Minute) / cfg.ChurnDeparturesPer10Min)
+		var churnTick func()
+		churnTick = func() {
+			if !net.Now().Before(end) {
+				return
+			}
+			// Pick a random online non-observer host to stop.
+			for try := 0; try < 10; try++ {
+				h := hosts[1+rng.Intn(len(hosts)-1)]
+				if !h.Online() {
+					continue
+				}
+				h.Stop()
+				cfgNode := h.Config()
+				cfgNode.SeedAddrs = seedFor(cfgNode.Self.Addr)
+				h.SetConfig(cfgNode)
+				off := time.Duration(rng.ExpFloat64() * float64(cfg.RejoinAfter))
+				sched.After(off, h.Start)
+				break
+			}
+			sched.After(time.Duration(rng.ExpFloat64()*float64(gap)), churnTick)
+		}
+		sched.After(time.Duration(rng.ExpFloat64()*float64(gap)), churnTick)
+	}
+
+	// Observer connection sampler (Figure 6).
+	if cfg.ObserverConnSampleEvery > 0 {
+		var sample func()
+		sample = func() {
+			if !net.Now().Before(end) {
+				return
+			}
+			if n := hosts[0].Node(); n != nil {
+				out, in, feelers := n.ConnCounts()
+				res.ObserverConns = append(res.ObserverConns, out+feelers)
+				_ = in
+			}
+			sched.After(cfg.ObserverConnSampleEvery, sample)
+		}
+		sched.After(0, sample)
+	}
+
+	// Background transactions: TxPerBlock submissions per block interval.
+	if cfg.TxPerBlock > 0 {
+		txGap := cfg.BlockInterval / time.Duration(cfg.TxPerBlock)
+		txCounter := uint32(0)
+		var txTick func()
+		txTick = func() {
+			if !net.Now().Before(end) {
+				return
+			}
+			h := hosts[rng.Intn(len(hosts))]
+			if n := h.Node(); n != nil {
+				txCounter++
+				tx := &wire.MsgTx{
+					Version: 2,
+					TxIn: []wire.TxIn{{
+						PreviousOutPoint: wire.OutPoint{Index: txCounter},
+						SignatureScript:  []byte{byte(txCounter), byte(txCounter >> 8), byte(txCounter >> 16), byte(txCounter >> 24)},
+						Sequence:         0xffffffff,
+					}},
+					TxOut: []wire.TxOut{{Value: int64(txCounter) * 100, PkScript: []byte{0x51}}},
+				}
+				n.SubmitTx(tx)
+			}
+			sched.After(time.Duration(rng.ExpFloat64()*float64(txGap)), txTick)
+		}
+		sched.After(0, txTick)
+	}
+
+	// Synchronization sampler: fixed cadence, like the Bitnodes feed.
+	var syncSample func()
+	syncSample = func() {
+		if !net.Now().Before(end) {
+			return
+		}
+		best := int32(-1)
+		var online, atTip, outSum int
+		for _, h := range hosts {
+			n := h.Node()
+			if n == nil {
+				continue
+			}
+			if hh := n.Chain().Height(); hh > best {
+				best = hh
+			}
+		}
+		for _, h := range hosts {
+			n := h.Node()
+			if n == nil {
+				continue
+			}
+			online++
+			out, _, _ := n.ConnCounts()
+			outSum += out
+			if n.Chain().Height() == best {
+				atTip++
+			}
+		}
+		if online > 0 {
+			res.SyncSamples = append(res.SyncSamples, float64(atTip)/float64(online))
+			res.MeanOutdegree += float64(outSum) / float64(online)
+		}
+		// Observed synchronization: listed nodes whose last-polled
+		// height matches the tip.
+		var listed, observedSynced int
+		now := net.Now()
+		for _, h := range hosts {
+			seen, ever := lastSeen[h.Addr()]
+			if !ever {
+				continue
+			}
+			if !h.Online() && now.Sub(seen) > cfg.ListingTTL {
+				continue
+			}
+			listed++
+			if polled[h.Addr()] == best {
+				observedSynced++
+			}
+		}
+		if listed > 0 {
+			res.ObservedSyncSamples = append(res.ObservedSyncSamples,
+				float64(observedSynced)/float64(listed))
+		}
+		sched.After(cfg.SyncSampleEvery, syncSample)
+	}
+	sched.After(cfg.SyncSampleEvery, syncSample)
+
+	// Mining driver: the block schedule is precomputed from a dedicated
+	// random stream, so two runs with the same seed see identical block
+	// times regardless of churn — common random numbers that make regime
+	// contrasts (Figure 1) directly comparable.
+	blockRng := rand.New(rand.NewSource(cfg.Seed ^ 0x0b10c0))
+	var blockTimes []time.Time
+	for t := net.Now().Add(time.Duration(blockRng.ExpFloat64() * float64(cfg.BlockInterval))); t.Before(end); t = t.Add(time.Duration(blockRng.ExpFloat64() * float64(cfg.BlockInterval))) {
+		blockTimes = append(blockTimes, t)
+	}
+	for _, bt := range blockTimes {
+		sched.At(bt, func() {
+			best := int32(-1)
+			for _, h := range hosts {
+				if n := h.Node(); n != nil {
+					if hh := n.Chain().Height(); hh > best {
+						best = hh
+					}
+				}
+			}
+			for try := 0; try < 20; try++ {
+				h := hosts[rng.Intn(len(hosts))]
+				n := h.Node()
+				if n == nil || n.Chain().Height() != best {
+					continue
+				}
+				if _, err := n.MineBlock(2000); err == nil {
+					res.BlocksMined++
+				}
+				break
+			}
+		})
+	}
+
+	sched.RunUntil(end)
+	measuring = false
+
+	// Fold per-(node, object) relay maps into observation lists, sorted
+	// deterministically so identical runs produce identical output (map
+	// iteration order would otherwise leak into downstream float sums).
+	for k, d := range blockLast {
+		res.BlockRelays = append(res.BlockRelays, RelayObservation{
+			Node: k.node, LastDelay: d, Fanout: blockFan[k],
+		})
+	}
+	for k, d := range txLast {
+		res.TxRelays = append(res.TxRelays, RelayObservation{
+			Node: k.node, LastDelay: d, Fanout: txFan[k],
+		})
+	}
+	sortRelays(res.BlockRelays)
+	sortRelays(res.TxRelays)
+	if len(res.SyncSamples) > 0 {
+		res.MeanOutdegree /= float64(len(res.SyncSamples))
+	}
+	return res, nil
+}
+
+// sortRelays orders observations by delay, then node, then fanout.
+func sortRelays(obs []RelayObservation) {
+	sort.Slice(obs, func(i, j int) bool {
+		if obs[i].LastDelay != obs[j].LastDelay {
+			return obs[i].LastDelay < obs[j].LastDelay
+		}
+		ai, aj := obs[i].Node, obs[j].Node
+		if c := ai.Addr().Compare(aj.Addr()); c != 0 {
+			return c < 0
+		}
+		if ai.Port() != aj.Port() {
+			return ai.Port() < aj.Port()
+		}
+		return obs[i].Fanout < obs[j].Fanout
+	})
+}
+
+// propagationGenesis is shared by all propagation experiments.
+var propagationGenesis = func() *wire.MsgBlock {
+	return chainGenesis("propagation")
+}()

@@ -1,0 +1,69 @@
+// Package chainhash provides the 32-byte double-SHA256 hash type used
+// throughout the Bitcoin protocol for block and transaction identifiers,
+// along with helpers for hashing and hex rendering.
+package chainhash
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// HashSize is the size in bytes of a Bitcoin hash.
+const HashSize = 32
+
+// Hash is a 32-byte array holding a double-SHA256 digest. Bitcoin renders
+// hashes in reverse byte order (little-endian display), which String
+// honors.
+type Hash [HashSize]byte
+
+// String returns the hash as the conventional reversed-hex string.
+func (h Hash) String() string {
+	var rev [HashSize]byte
+	for i, b := range h {
+		rev[HashSize-1-i] = b
+	}
+	return hex.EncodeToString(rev[:])
+}
+
+// IsZero reports whether the hash is all zeroes.
+func (h Hash) IsZero() bool {
+	return h == Hash{}
+}
+
+// NewHashFromStr parses a reversed-hex string (as produced by String) into
+// a Hash. Short inputs are zero-padded on the most significant side, which
+// matches Bitcoin Core's convenience behaviour for test vectors.
+func NewHashFromStr(s string) (Hash, error) {
+	var h Hash
+	if len(s) > HashSize*2 {
+		return h, fmt.Errorf("chainhash: hex string too long: %d chars", len(s))
+	}
+	if len(s)%2 != 0 {
+		s = "0" + s
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return h, fmt.Errorf("chainhash: decode %q: %w", s, err)
+	}
+	// Reverse into place, right-aligned.
+	for i, b := range raw {
+		h[len(raw)-1-i] = b
+	}
+	return h, nil
+}
+
+// DoubleSHA256 computes SHA256(SHA256(data)) and returns it as a Hash.
+func DoubleSHA256(data []byte) Hash {
+	first := sha256.Sum256(data)
+	return sha256.Sum256(first[:])
+}
+
+// Checksum returns the first 4 bytes of the double-SHA256 of data, as used
+// by the wire protocol message header.
+func Checksum(data []byte) [4]byte {
+	h := DoubleSHA256(data)
+	var out [4]byte
+	copy(out[:], h[:4])
+	return out
+}

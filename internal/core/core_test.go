@@ -1,0 +1,149 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig10", "fig11", "fig12", "fig13",
+		"table1", "addrmix", "resync", "syncdep", "ablation", "hijack",
+	}
+	got := Experiments()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for _, id := range want {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %q missing", id)
+		}
+		if e.Title == "" || e.Section == "" || e.Run == nil {
+			t.Errorf("experiment %q incompletely described", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID found a nonexistent experiment")
+	}
+}
+
+func TestExperimentsSorted(t *testing.T) {
+	es := Experiments()
+	for i := 1; i < len(es); i++ {
+		if es[i].ID < es[i-1].ID {
+			t.Fatal("Experiments() not sorted by ID")
+		}
+	}
+}
+
+// TestRunEveryExperimentQuick exercises the full registry at smoke scale.
+// This is the repository's broadest integration test: every substrate
+// (wire, addrman, node, simnet, netgen, crawler, churn, stats) runs under
+// every experiment.
+func TestRunEveryExperimentQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiments still take tens of seconds")
+	}
+	opts := Options{Seed: 3, Quick: true}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run(opts)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if rep.ID != e.ID {
+				t.Errorf("report ID %q != experiment ID %q", rep.ID, e.ID)
+			}
+			if len(rep.Metrics) == 0 && len(rep.Tables) == 0 {
+				t.Error("empty report")
+			}
+			var sb strings.Builder
+			if err := rep.Render(&sb); err != nil {
+				t.Fatalf("render: %v", err)
+			}
+			if !strings.Contains(sb.String(), e.ID) {
+				t.Error("render lacks experiment ID")
+			}
+		})
+	}
+}
+
+func TestReportRenderAndCSV(t *testing.T) {
+	rep := &Report{ID: "demo", Title: "Demo"}
+	rep.AddMetric("alpha", "1", "2")
+	rep.AddMetricf("beta", 3.14159, "%.2f", "")
+	rep.Notes = append(rep.Notes, "a note")
+	rep.Tables = append(rep.Tables, Table{
+		Name:   "series one",
+		Header: []string{"x", "y"},
+		Rows:   [][]string{{"1", "2"}, {"3", "4"}},
+	})
+
+	var sb strings.Builder
+	if err := rep.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"demo", "alpha", "paper: 2", "3.14", "a note", "series one"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	dir := t.TempDir()
+	if err := rep.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	table, err := os.ReadFile(filepath.Join(dir, "demo_series_one.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(table), "x,y") {
+		t.Errorf("csv content: %q", table)
+	}
+	metrics, err := os.ReadFile(filepath.Join(dir, "demo_metrics.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(metrics), "alpha,1,2") {
+		t.Errorf("metrics csv content: %q", metrics)
+	}
+}
+
+func TestRenderTruncatesLongTables(t *testing.T) {
+	rep := &Report{ID: "big", Title: "Big"}
+	tbl := Table{Name: "long", Header: []string{"i"}}
+	for i := 0; i < 100; i++ {
+		tbl.Rows = append(tbl.Rows, []string{"row"})
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	var sb strings.Builder
+	if err := rep.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "more rows") {
+		t.Error("long table not truncated in render")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Seed != 1 || o.Scale != 0.30 || o.NetSize != 120 {
+		t.Errorf("full defaults = %+v", o)
+	}
+	q := Options{Quick: true}.withDefaults()
+	if q.Scale != 0.02 || q.NetSize != 40 {
+		t.Errorf("quick defaults = %+v", q)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("a b/c:d-e_f"); got != "a_b_c_d-e_f" {
+		t.Errorf("sanitize = %q", got)
+	}
+}

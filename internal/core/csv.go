@@ -1,0 +1,78 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteCSV writes every table of the report into dir as
+// <id>_<table>.csv, creating dir if needed.
+func (r *Report) WriteCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: create %s: %w", dir, err)
+	}
+	for i := range r.Tables {
+		t := &r.Tables[i]
+		path := filepath.Join(dir, fmt.Sprintf("%s_%s.csv", r.ID, sanitize(t.Name)))
+		if err := writeOneCSV(path, t); err != nil {
+			return err
+		}
+	}
+	// The metrics themselves also land in a summary CSV.
+	if len(r.Metrics) > 0 {
+		path := filepath.Join(dir, fmt.Sprintf("%s_metrics.csv", r.ID))
+		t := Table{
+			Header: []string{"metric", "measured", "paper"},
+		}
+		for _, m := range r.Metrics {
+			t.Rows = append(t.Rows, []string{m.Name, m.Value, m.Paper})
+		}
+		if err := writeOneCSV(path, &t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeOneCSV writes one table to path.
+func writeOneCSV(path string, t *Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: create %s: %w", path, err)
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(t.Header); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("core: write %s: %w", path, err)
+	}
+	for _, row := range t.Rows {
+		if err := w.Write(row); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("core: write %s: %w", path, err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("core: flush %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// sanitize makes a table name filesystem-friendly.
+func sanitize(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == '-' || r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

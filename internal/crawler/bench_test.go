@@ -1,0 +1,54 @@
+package crawler
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/netgen"
+)
+
+// BenchmarkCrawlExperiment measures one full Algorithm 1 crawl over a
+// small synthetic universe.
+func BenchmarkCrawlExperiment(b *testing.B) {
+	u, err := netgen.Generate(netgen.DefaultParams(55, 0.02))
+	if err != nil {
+		b.Fatal(err)
+	}
+	at := u.Params.Epoch.Add(10 * 24 * time.Hour)
+	seedView := u.SeedViewAt(at)
+	targets := TargetsOf(seedView)
+	known := ReachableReference(seedView)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		view := NewUniverseView(u, at)
+		c := New(Config{}, view)
+		if _, err := c.Crawl(at, targets, known); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScanExperiment measures the Algorithm 2 probe sweep.
+func BenchmarkScanExperiment(b *testing.B) {
+	u, err := netgen.Generate(netgen.DefaultParams(56, 0.02))
+	if err != nil {
+		b.Fatal(err)
+	}
+	at := u.Params.Epoch.Add(10 * 24 * time.Hour)
+	view := NewUniverseView(u, at)
+	var targets []netip.AddrPort
+	for _, s := range u.Unreachable {
+		if s.VisibleAt(at) {
+			targets = append(targets, s.Addr)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Scan(at, view, targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

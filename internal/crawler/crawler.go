@@ -1,0 +1,273 @@
+// Package crawler implements the paper's measurement apparatus (§III,
+// Figure 2): the address crawler that bootstraps from the Bitnodes and
+// DNS-seeder databases, the network crawler that drains each reachable
+// node's address tables through iterative GETADDR exchanges
+// (Algorithm 1), and the scanner that classifies unreachable addresses as
+// responsive or silent by probing them with a VER message (Algorithm 2).
+//
+// The crawler is generic over a Dialer/Prober pair. Three backends exist:
+// the popsim backend over a netgen.Universe (snapshot-level, fast enough
+// for 60-day × 700K-address reproductions), the simnet backend (live
+// in-process nodes), and the tcpnet backend (real sockets speaking the
+// real wire protocol).
+package crawler
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Session is an established connection to a reachable node, able to
+// perform repeated GETADDR→ADDR exchanges.
+type Session interface {
+	// Remote returns the peer's address.
+	Remote() netip.AddrPort
+	// GetAddr performs one GETADDR→ADDR exchange and returns the
+	// received addresses.
+	GetAddr() ([]wire.NetAddress, error)
+	// Close releases the session.
+	Close() error
+}
+
+// Dialer opens crawl sessions.
+type Dialer interface {
+	// Dial connects to a reachable address; it returns an error when the
+	// node is gone, refuses, or times out.
+	Dial(addr netip.AddrPort) (Session, error)
+}
+
+// ProbeOutcome classifies a scanner probe (Algorithm 2).
+type ProbeOutcome int
+
+// Probe outcomes.
+const (
+	// ProbeSilent targets never answered.
+	ProbeSilent ProbeOutcome = iota + 1
+	// ProbeResponsive targets answered the VER probe by closing the
+	// connection: an unreachable node running Bitcoin.
+	ProbeResponsive
+	// ProbeReachable targets accepted the connection outright.
+	ProbeReachable
+)
+
+// String returns the outcome name.
+func (o ProbeOutcome) String() string {
+	switch o {
+	case ProbeSilent:
+		return "silent"
+	case ProbeResponsive:
+		return "responsive"
+	case ProbeReachable:
+		return "reachable"
+	default:
+		return "unknown"
+	}
+}
+
+// Prober sends the scanner's VER probe.
+type Prober interface {
+	// Probe classifies the endpoint at addr.
+	Probe(addr netip.AddrPort) (ProbeOutcome, error)
+}
+
+// Config bounds crawler behaviour.
+type Config struct {
+	// MaxGetAddrRounds caps the Algorithm 1 repeat loop per node
+	// (default 50).
+	MaxGetAddrRounds int
+	// MaxNodes caps how many reachable nodes are crawled (0 = no cap).
+	MaxNodes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxGetAddrRounds == 0 {
+		c.MaxGetAddrRounds = 50
+	}
+	return c
+}
+
+// NodeReport is the per-reachable-node crawl record.
+type NodeReport struct {
+	// Addr is the crawled node.
+	Addr netip.AddrPort
+	// Connected reports whether the dial succeeded.
+	Connected bool
+	// Rounds is the number of GETADDR exchanges performed.
+	Rounds int
+	// TotalSent counts all addresses received from the node (with
+	// repetition across rounds deduplicated).
+	TotalSent int
+	// ReachableSent and UnreachableSent split TotalSent against the
+	// known-reachable reference set.
+	ReachableSent   int
+	UnreachableSent int
+	// SentOwnAddr reports whether the node advertised itself — honest
+	// nodes always do; its absence is the §IV-B malice heuristic.
+	SentOwnAddr bool
+}
+
+// Snapshot is the outcome of one crawl experiment.
+type Snapshot struct {
+	// Time is the experiment's nominal time.
+	Time time.Time
+	// Dialed is the number of dial attempts.
+	Dialed int
+	// Connected lists nodes that accepted and completed the crawl.
+	Connected []netip.AddrPort
+	// Reports holds the per-node records, keyed by address.
+	Reports map[netip.AddrPort]*NodeReport
+	// Unreachable is the deduplicated set of collected addresses that
+	// are not in the known-reachable reference set (the paper's N_u).
+	Unreachable map[netip.AddrPort]struct{}
+}
+
+// Crawler drives crawl experiments over a backend.
+type Crawler struct {
+	cfg    Config
+	dialer Dialer
+}
+
+// New creates a crawler over the given dialer.
+func New(cfg Config, dialer Dialer) *Crawler {
+	return &Crawler{cfg: cfg.withDefaults(), dialer: dialer}
+}
+
+// Crawl runs Algorithm 1 against every address in targets: connect, issue
+// GETADDR until a response adds nothing new, classify each collected
+// address against knownReachable, and accumulate the unreachable set.
+func (c *Crawler) Crawl(at time.Time, targets []netip.AddrPort,
+	knownReachable map[netip.AddrPort]struct{}) (*Snapshot, error) {
+	if len(targets) == 0 {
+		return nil, errors.New("crawler: no targets")
+	}
+	snap := &Snapshot{
+		Time:        at,
+		Reports:     make(map[netip.AddrPort]*NodeReport, len(targets)),
+		Unreachable: make(map[netip.AddrPort]struct{}),
+	}
+	for _, target := range targets {
+		if c.cfg.MaxNodes > 0 && len(snap.Connected) >= c.cfg.MaxNodes {
+			break
+		}
+		snap.Dialed++
+		report := &NodeReport{Addr: target}
+		snap.Reports[target] = report
+		sess, err := c.dialer.Dial(target)
+		if err != nil {
+			continue
+		}
+		report.Connected = true
+		snap.Connected = append(snap.Connected, target)
+		c.drainNode(sess, report, knownReachable, snap.Unreachable)
+		if err := sess.Close(); err != nil {
+			return nil, fmt.Errorf("crawler: close %v: %w", target, err)
+		}
+	}
+	return snap, nil
+}
+
+// drainNode implements the Algorithm 1 inner loop for one node.
+func (c *Crawler) drainNode(sess Session, report *NodeReport,
+	knownReachable map[netip.AddrPort]struct{},
+	unreachable map[netip.AddrPort]struct{}) {
+	seen := make(map[netip.AddrPort]struct{})
+	for round := 0; round < c.cfg.MaxGetAddrRounds; round++ {
+		addrs, err := sess.GetAddr()
+		if err != nil {
+			return
+		}
+		report.Rounds++
+		fresh := 0
+		for _, na := range addrs {
+			if _, dup := seen[na.Addr]; dup {
+				continue
+			}
+			seen[na.Addr] = struct{}{}
+			fresh++
+			report.TotalSent++
+			if na.Addr == report.Addr {
+				report.SentOwnAddr = true
+			}
+			if _, ok := knownReachable[na.Addr]; ok {
+				report.ReachableSent++
+			} else {
+				report.UnreachableSent++
+				unreachable[na.Addr] = struct{}{}
+			}
+		}
+		// Algorithm 1 termination: a response with no new addresses
+		// means the node's tables are drained.
+		if fresh == 0 {
+			return
+		}
+	}
+}
+
+// ScanResult is the outcome of one Algorithm 2 scan.
+type ScanResult struct {
+	// Time is the scan's nominal time.
+	Time time.Time
+	// Probed is the number of probes issued.
+	Probed int
+	// Responsive lists addresses that answered the VER probe.
+	Responsive []netip.AddrPort
+	// ReachableSurprises lists addresses that accepted outright (they
+	// were misclassified as unreachable).
+	ReachableSurprises []netip.AddrPort
+}
+
+// Scan runs Algorithm 2: probe every address and collect the responsive
+// ones.
+func Scan(at time.Time, prober Prober, addrs []netip.AddrPort) (*ScanResult, error) {
+	res := &ScanResult{Time: at}
+	for _, a := range addrs {
+		outcome, err := prober.Probe(a)
+		if err != nil {
+			return nil, fmt.Errorf("crawler: probe %v: %w", a, err)
+		}
+		res.Probed++
+		switch outcome {
+		case ProbeResponsive:
+			res.Responsive = append(res.Responsive, a)
+		case ProbeReachable:
+			res.ReachableSurprises = append(res.ReachableSurprises, a)
+		}
+	}
+	return res, nil
+}
+
+// SuspectedMalicious returns the crawled nodes matching the §IV-B
+// heuristic: connected nodes whose ADDR responses contained no reachable
+// address at all (an honest node always advertises at least itself).
+// minSent filters out nodes that sent too few addresses to judge.
+func (s *Snapshot) SuspectedMalicious(minSent int) []*NodeReport {
+	var out []*NodeReport
+	for _, r := range s.Reports {
+		if !r.Connected || r.TotalSent < minSent {
+			continue
+		}
+		if r.ReachableSent == 0 && !r.SentOwnAddr {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// AddrComposition returns the aggregate reachable/unreachable shares of
+// all collected addresses (the paper's 14.9% / 85.1% split).
+func (s *Snapshot) AddrComposition() (reachable, unreachable float64) {
+	var r, u int
+	for _, rep := range s.Reports {
+		r += rep.ReachableSent
+		u += rep.UnreachableSent
+	}
+	total := r + u
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(r) / float64(total), float64(u) / float64(total)
+}

@@ -1,0 +1,484 @@
+package crawler
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/netgen"
+	"repro/internal/wire"
+)
+
+// fakeDialer serves scripted books for testing the crawl logic in
+// isolation from the popsim backend.
+type fakeDialer struct {
+	books map[netip.AddrPort][]wire.NetAddress
+	fails map[netip.AddrPort]bool
+	page  int
+}
+
+func (d *fakeDialer) Dial(addr netip.AddrPort) (Session, error) {
+	if d.fails[addr] {
+		return nil, errors.New("refused")
+	}
+	book, ok := d.books[addr]
+	if !ok {
+		return nil, errors.New("timeout")
+	}
+	page := d.page
+	if page == 0 {
+		page = 3
+	}
+	return &fakeSession{remote: addr, book: book, page: page}, nil
+}
+
+type fakeSession struct {
+	remote netip.AddrPort
+	book   []wire.NetAddress
+	cursor int
+	page   int
+	closed bool
+}
+
+func (s *fakeSession) Remote() netip.AddrPort { return s.remote }
+
+func (s *fakeSession) GetAddr() ([]wire.NetAddress, error) {
+	if s.closed {
+		return nil, errors.New("closed")
+	}
+	if s.cursor >= len(s.book) {
+		// Repeat the first page: terminates Algorithm 1.
+		end := s.page
+		if end > len(s.book) {
+			end = len(s.book)
+		}
+		return s.book[:end], nil
+	}
+	end := s.cursor + s.page
+	if end > len(s.book) {
+		end = len(s.book)
+	}
+	out := s.book[s.cursor:end]
+	s.cursor = end
+	return out, nil
+}
+
+func (s *fakeSession) Close() error {
+	s.closed = true
+	return nil
+}
+
+func tAddr(i int) netip.AddrPort {
+	return netip.AddrPortFrom(netip.AddrFrom4([4]byte{192, 0, byte(i >> 8), byte(i)}), 8333)
+}
+
+func na(addr netip.AddrPort) wire.NetAddress {
+	return wire.NetAddress{Addr: addr, Timestamp: time.Unix(1586000000, 0)}
+}
+
+func TestCrawlEmptyTargets(t *testing.T) {
+	c := New(Config{}, &fakeDialer{})
+	if _, err := c.Crawl(time.Now(), nil, nil); err == nil {
+		t.Error("empty targets: want error")
+	}
+}
+
+func TestCrawlDrainsFullBook(t *testing.T) {
+	target := tAddr(1)
+	book := []wire.NetAddress{na(target)} // self first
+	for i := 10; i < 30; i++ {
+		book = append(book, na(tAddr(i)))
+	}
+	d := &fakeDialer{books: map[netip.AddrPort][]wire.NetAddress{target: book}}
+	c := New(Config{}, d)
+	known := map[netip.AddrPort]struct{}{target: {}}
+	snap, err := c.Crawl(time.Unix(0, 0), []netip.AddrPort{target}, known)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := snap.Reports[target]
+	if !rep.Connected {
+		t.Fatal("not connected")
+	}
+	if rep.TotalSent != len(book) {
+		t.Errorf("TotalSent = %d, want %d (full book drained)", rep.TotalSent, len(book))
+	}
+	if !rep.SentOwnAddr {
+		t.Error("self-advertisement not detected")
+	}
+	if rep.ReachableSent != 1 || rep.UnreachableSent != 20 {
+		t.Errorf("split = %d/%d, want 1/20", rep.ReachableSent, rep.UnreachableSent)
+	}
+	if len(snap.Unreachable) != 20 {
+		t.Errorf("unreachable set = %d, want 20", len(snap.Unreachable))
+	}
+	// Termination requires one extra repeat round beyond the book pages.
+	wantRounds := (len(book)+2)/3 + 1
+	if rep.Rounds != wantRounds {
+		t.Errorf("rounds = %d, want %d", rep.Rounds, wantRounds)
+	}
+}
+
+func TestCrawlFailedDialRecorded(t *testing.T) {
+	alive, dead := tAddr(1), tAddr(2)
+	d := &fakeDialer{
+		books: map[netip.AddrPort][]wire.NetAddress{alive: {na(alive)}},
+		fails: map[netip.AddrPort]bool{dead: true},
+	}
+	c := New(Config{}, d)
+	snap, err := c.Crawl(time.Unix(0, 0), []netip.AddrPort{alive, dead}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Dialed != 2 {
+		t.Errorf("Dialed = %d, want 2", snap.Dialed)
+	}
+	if len(snap.Connected) != 1 {
+		t.Errorf("Connected = %d, want 1", len(snap.Connected))
+	}
+	if snap.Reports[dead].Connected {
+		t.Error("failed dial marked connected")
+	}
+}
+
+func TestCrawlMaxRoundsBound(t *testing.T) {
+	// A pathological session that always returns fresh addresses must be
+	// cut off by MaxGetAddrRounds.
+	target := tAddr(1)
+	var big []wire.NetAddress
+	for i := 0; i < 1000; i++ {
+		big = append(big, na(tAddr(i+100)))
+	}
+	d := &fakeDialer{books: map[netip.AddrPort][]wire.NetAddress{target: big}, page: 5}
+	c := New(Config{MaxGetAddrRounds: 10}, d)
+	snap, err := c.Crawl(time.Unix(0, 0), []netip.AddrPort{target}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Reports[target].Rounds; got != 10 {
+		t.Errorf("rounds = %d, want 10 (capped)", got)
+	}
+}
+
+func TestCrawlMaxNodes(t *testing.T) {
+	books := map[netip.AddrPort][]wire.NetAddress{}
+	var targets []netip.AddrPort
+	for i := 1; i <= 5; i++ {
+		a := tAddr(i)
+		books[a] = []wire.NetAddress{na(a)}
+		targets = append(targets, a)
+	}
+	c := New(Config{MaxNodes: 2}, &fakeDialer{books: books})
+	snap, err := c.Crawl(time.Unix(0, 0), targets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Connected) != 2 {
+		t.Errorf("Connected = %d, want 2 (capped)", len(snap.Connected))
+	}
+}
+
+func TestSuspectedMalicious(t *testing.T) {
+	honest, evil := tAddr(1), tAddr(2)
+	honestBook := []wire.NetAddress{na(honest), na(tAddr(50)), na(tAddr(51))}
+	var evilBook []wire.NetAddress
+	for i := 100; i < 140; i++ {
+		evilBook = append(evilBook, na(tAddr(i)))
+	}
+	d := &fakeDialer{books: map[netip.AddrPort][]wire.NetAddress{
+		honest: honestBook,
+		evil:   evilBook,
+	}}
+	c := New(Config{}, d)
+	known := map[netip.AddrPort]struct{}{honest: {}, evil: {}}
+	snap, err := c.Crawl(time.Unix(0, 0), []netip.AddrPort{honest, evil}, known)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suspects := snap.SuspectedMalicious(10)
+	if len(suspects) != 1 || suspects[0].Addr != evil {
+		t.Fatalf("suspects = %+v, want exactly the evil node", suspects)
+	}
+	// The honest node must not be flagged even with a lower threshold.
+	for _, s := range snap.SuspectedMalicious(1) {
+		if s.Addr == honest {
+			t.Error("honest node flagged as malicious")
+		}
+	}
+}
+
+func TestAddrComposition(t *testing.T) {
+	target := tAddr(1)
+	book := []wire.NetAddress{na(target)}
+	for i := 0; i < 3; i++ {
+		book = append(book, na(tAddr(10+i))) // reachable
+	}
+	for i := 0; i < 6; i++ {
+		book = append(book, na(tAddr(100+i))) // unreachable
+	}
+	known := map[netip.AddrPort]struct{}{target: {}}
+	for i := 0; i < 3; i++ {
+		known[tAddr(10+i)] = struct{}{}
+	}
+	d := &fakeDialer{books: map[netip.AddrPort][]wire.NetAddress{target: book}}
+	c := New(Config{}, d)
+	snap, err := c.Crawl(time.Unix(0, 0), []netip.AddrPort{target}, known)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, u := snap.AddrComposition()
+	if r < 0.39 || r > 0.41 { // 4 of 10
+		t.Errorf("reachable share = %v, want 0.4", r)
+	}
+	if u < 0.59 || u > 0.61 {
+		t.Errorf("unreachable share = %v, want 0.6", u)
+	}
+}
+
+// fakeProber classifies by a fixed map.
+type fakeProber struct {
+	outcomes map[netip.AddrPort]ProbeOutcome
+}
+
+func (p *fakeProber) Probe(addr netip.AddrPort) (ProbeOutcome, error) {
+	if o, ok := p.outcomes[addr]; ok {
+		return o, nil
+	}
+	return ProbeSilent, nil
+}
+
+func TestScan(t *testing.T) {
+	p := &fakeProber{outcomes: map[netip.AddrPort]ProbeOutcome{
+		tAddr(1): ProbeResponsive,
+		tAddr(2): ProbeSilent,
+		tAddr(3): ProbeReachable,
+	}}
+	res, err := Scan(time.Unix(0, 0), p,
+		[]netip.AddrPort{tAddr(1), tAddr(2), tAddr(3), tAddr(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Probed != 4 {
+		t.Errorf("Probed = %d, want 4", res.Probed)
+	}
+	if len(res.Responsive) != 1 || res.Responsive[0] != tAddr(1) {
+		t.Errorf("Responsive = %v", res.Responsive)
+	}
+	if len(res.ReachableSurprises) != 1 || res.ReachableSurprises[0] != tAddr(3) {
+		t.Errorf("ReachableSurprises = %v", res.ReachableSurprises)
+	}
+}
+
+type errProber struct{}
+
+func (errProber) Probe(netip.AddrPort) (ProbeOutcome, error) {
+	return 0, fmt.Errorf("raw socket failure")
+}
+
+func TestScanPropagatesErrors(t *testing.T) {
+	if _, err := Scan(time.Unix(0, 0), errProber{}, []netip.AddrPort{tAddr(1)}); err == nil {
+		t.Error("prober error not propagated")
+	}
+}
+
+// --- popsim backend integration -----------------------------------------
+
+func smallUniverse(t *testing.T) *netgen.Universe {
+	t.Helper()
+	u, err := netgen.Generate(netgen.DefaultParams(7, 0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestUniverseViewCrawl(t *testing.T) {
+	u := smallUniverse(t)
+	at := u.Params.Epoch.Add(10 * 24 * time.Hour)
+	view := NewUniverseView(u, at)
+	seedView := u.SeedViewAt(at)
+	targets := TargetsOf(seedView)
+	known := ReachableReference(seedView)
+
+	c := New(Config{}, view)
+	snap, err := c.Crawl(at, targets, known)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Connected) == 0 {
+		t.Fatal("no nodes connected")
+	}
+	// Connection success rate should be below 1 (stale listings).
+	rate := float64(len(snap.Connected)) / float64(snap.Dialed)
+	if rate > 0.95 {
+		t.Errorf("connect rate = %.2f; expected failures from stale listings", rate)
+	}
+	if rate < 0.5 {
+		t.Errorf("connect rate = %.2f; too many failures", rate)
+	}
+	// Collected unreachable set should approach the visible pool.
+	coverage := float64(len(snap.Unreachable)) / float64(view.VisibleCount())
+	if coverage < 0.5 {
+		t.Errorf("unreachable coverage = %.2f, want most of the pool", coverage)
+	}
+	// Composition should be near the planted 14.9/85.1 split.
+	r, unr := snap.AddrComposition()
+	if r < 0.08 || r > 0.25 {
+		t.Errorf("reachable composition = %.3f, want ≈0.149", r)
+	}
+	if unr < 0.75 {
+		t.Errorf("unreachable composition = %.3f, want ≈0.851", unr)
+	}
+}
+
+func TestUniverseViewScan(t *testing.T) {
+	u := smallUniverse(t)
+	at := u.Params.Epoch.Add(10 * 24 * time.Hour)
+	view := NewUniverseView(u, at)
+
+	var targets []netip.AddrPort
+	wantResponsive := 0
+	for _, s := range u.Unreachable {
+		if !s.VisibleAt(at) {
+			continue
+		}
+		targets = append(targets, s.Addr)
+		if s.Class == netgen.ClassResponsive {
+			wantResponsive++
+		}
+	}
+	res, err := Scan(at, view, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Responsive) != wantResponsive {
+		t.Errorf("responsive = %d, want %d", len(res.Responsive), wantResponsive)
+	}
+}
+
+func TestUniverseViewDialSemantics(t *testing.T) {
+	u := smallUniverse(t)
+	at := u.Params.Epoch.Add(5 * 24 * time.Hour)
+	view := NewUniverseView(u, at)
+	// Dialing an unreachable station must fail.
+	for _, s := range u.Unreachable[:5] {
+		if _, err := view.Dial(s.Addr); err == nil {
+			t.Fatalf("dial to unreachable %v succeeded", s.Addr)
+		}
+	}
+	// Dialing an unknown address must fail.
+	ghost := netip.AddrPortFrom(netip.MustParseAddr("203.0.113.99"), 8333)
+	if _, err := view.Dial(ghost); err == nil {
+		t.Error("dial to unknown address succeeded")
+	}
+	// Dialing an offline reachable station must fail.
+	for _, s := range u.Reachable {
+		if !s.OnlineAt(at) {
+			if _, err := view.Dial(s.Addr); err == nil {
+				t.Error("dial to offline station succeeded")
+			}
+			break
+		}
+	}
+}
+
+func TestUniverseViewMaliciousDetection(t *testing.T) {
+	u, err := netgen.Generate(netgen.DefaultParams(8, 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := u.Params.Epoch.Add(10 * 24 * time.Hour)
+	view := NewUniverseView(u, at)
+	seedView := u.SeedViewAt(at)
+	c := New(Config{}, view)
+	snap, err := c.Crawl(at, TargetsOf(seedView), ReachableReference(seedView))
+	if err != nil {
+		t.Fatal(err)
+	}
+	suspects := snap.SuspectedMalicious(5)
+	planted := 0
+	for _, s := range u.Reachable {
+		if s.Malicious && !s.Critical {
+			planted++
+		}
+	}
+	if len(suspects) == 0 {
+		t.Fatalf("no suspects found; planted %d", planted)
+	}
+	// Every suspect must actually be a planted flooder (no false
+	// positives at this threshold).
+	for _, rep := range suspects {
+		st := u.ByAddr(rep.Addr)
+		if st == nil || !st.Malicious {
+			t.Errorf("false positive: %v flagged", rep.Addr)
+		}
+	}
+	// Detection should find most planted flooders (they are persistent,
+	// so they are online and dialable).
+	if len(suspects) < planted*6/10 {
+		t.Errorf("found %d of %d planted flooders", len(suspects), planted)
+	}
+}
+
+func TestProbeOutcomeString(t *testing.T) {
+	for _, o := range []ProbeOutcome{ProbeSilent, ProbeResponsive, ProbeReachable, ProbeOutcome(9)} {
+		if o.String() == "" {
+			t.Errorf("empty string for outcome %d", int(o))
+		}
+	}
+}
+
+func TestUniverseViewAccessors(t *testing.T) {
+	u := smallUniverse(t)
+	at := u.Params.Epoch.Add(24 * time.Hour)
+	view := NewUniverseView(u, at)
+	if !view.At().Equal(at) {
+		t.Error("At mismatch")
+	}
+	if view.OnlineCount() <= 0 || view.VisibleCount() <= 0 {
+		t.Error("empty pools")
+	}
+	sess, err := view.Dial(TargetsOf(u.SeedViewAt(at))[0])
+	if err != nil {
+		// The first dialable target may be offline-at-t or refused;
+		// find one that works.
+		for _, tgt := range TargetsOf(u.SeedViewAt(at)) {
+			if sess, err = view.Dial(tgt); err == nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		t.Fatalf("no dialable targets: %v", err)
+	}
+	if !sess.Remote().IsValid() {
+		t.Error("invalid Remote()")
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.GetAddr(); err == nil {
+		t.Error("GetAddr on closed session should fail")
+	}
+}
+
+func TestUniverseViewProbeOfflineReachable(t *testing.T) {
+	u := smallUniverse(t)
+	at := u.Params.Epoch.Add(24 * time.Hour)
+	view := NewUniverseView(u, at)
+	for _, s := range u.Reachable {
+		if !s.OnlineAt(at) {
+			out, err := view.Probe(s.Addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out != ProbeSilent {
+				t.Errorf("offline reachable probe = %v, want silent", out)
+			}
+			return
+		}
+	}
+	t.Skip("no offline reachable station found")
+}

@@ -1,0 +1,139 @@
+package netgen
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// This file models the ADDR-gossip content of the synthetic universe: the
+// address book a reachable station reveals to the crawler's iterative
+// GETADDR (Algorithm 1), the seed-database views (Bitnodes, DNS), and the
+// NetAddress conversions.
+
+// NetAddr renders a station as a wire NetAddress with a gossip timestamp
+// slightly in the past of t.
+func (u *Universe) NetAddr(s *Station, t time.Time, rng *rand.Rand) wire.NetAddress {
+	jitter := time.Duration(rng.Int63n(int64(3 * time.Hour)))
+	return wire.NetAddress{
+		Addr:      s.Addr,
+		Services:  wire.SFNodeNetwork,
+		Timestamp: t.Add(-jitter),
+	}
+}
+
+// AddrBook returns the full address set station s would reveal through
+// iterative GETADDR at time t: its own address first, then a mixture of
+// reachable and unreachable addresses at the paper's measured 14.9/85.1
+// composition. Malicious stations return an unreachable-only flood slice
+// of their budget (no self-advertisement — the detection heuristic's
+// tell). The book is sampled deterministically from the pools current at
+// t using a per-station-per-crawl seed.
+func (u *Universe) AddrBook(s *Station, t time.Time) []wire.NetAddress {
+	return u.AddrBookFrom(s, t, u.OnlineReachable(t), u.VisibleUnreachable(t))
+}
+
+// AddrBookFrom is AddrBook with the candidate pools precomputed, so a
+// crawl over thousands of stations scans the universe once per
+// experiment rather than once per station.
+func (u *Universe) AddrBookFrom(s *Station, t time.Time, online, visible []*Station) []wire.NetAddress {
+	p := u.Params
+	crawlIdx := int64(t.Sub(p.Epoch) / p.CrawlInterval)
+	rng := rand.New(rand.NewSource(p.Seed ^ int64(s.Addr.Port())<<32 ^
+		addrSeed(s) ^ crawlIdx*0x9e3779b9))
+
+	if s.Malicious {
+		experiments := int(p.Horizon / p.CrawlInterval)
+		if experiments < 1 {
+			experiments = 1
+		}
+		per := s.FloodBudget / experiments
+		if per < 1 {
+			per = 1
+		}
+		book := make([]wire.NetAddress, 0, per)
+		for i := 0; i < per && len(visible) > 0; i++ {
+			target := visible[rng.Intn(len(visible))]
+			book = append(book, u.NetAddr(target, t, rng))
+		}
+		return book
+	}
+
+	size := p.scaled(p.BookSize)
+	if size < 2 {
+		size = 2
+	}
+	book := make([]wire.NetAddress, 0, size+1)
+	self := wire.NetAddress{Addr: s.Addr, Services: wire.SFNodeNetwork, Timestamp: t}
+	book = append(book, self)
+	for i := 0; i < size; i++ {
+		if rng.Float64() < p.AddrReachableShare && len(online) > 0 {
+			book = append(book, u.NetAddr(online[rng.Intn(len(online))], t, rng))
+		} else if len(visible) > 0 {
+			book = append(book, u.NetAddr(visible[rng.Intn(len(visible))], t, rng))
+		}
+	}
+	return book
+}
+
+// addrSeed derives a stable per-station seed component.
+func addrSeed(s *Station) int64 {
+	b := s.Addr.Addr().As4()
+	return int64(b[0])<<24 | int64(b[1])<<16 | int64(b[2])<<8 | int64(b[3])
+}
+
+// SeedView is the crawl bootstrap picture at one instant: the two seed
+// databases and their blacklist-filtered remainders (Figure 3).
+type SeedView struct {
+	// Bitnodes is the Bitnodes-style list (currently-online covered
+	// stations).
+	Bitnodes []*Station
+	// DNS is the DNS-seeder database (listed stations, online or not).
+	DNS []*Station
+	// Common counts stations on both lists.
+	Common int
+	// BitnodesExcluded and DNSExcluded count blacklisted entries.
+	BitnodesExcluded int
+	DNSExcluded      int
+	// CommonExcluded counts blacklisted entries present on both lists.
+	CommonExcluded int
+	// Dialable is the deduplicated, blacklist-filtered union.
+	Dialable []*Station
+}
+
+// SeedViewAt builds the seed databases as of t.
+func (u *Universe) SeedViewAt(t time.Time) *SeedView {
+	v := &SeedView{}
+	seen := make(map[*Station]bool)
+	for _, s := range u.Reachable {
+		onBit := s.OnBitnodes && s.OnlineAt(t)
+		onDNS := s.OnDNS
+		if !onBit && !onDNS {
+			continue
+		}
+		if onBit {
+			v.Bitnodes = append(v.Bitnodes, s)
+			if s.Critical {
+				v.BitnodesExcluded++
+			}
+		}
+		if onDNS {
+			v.DNS = append(v.DNS, s)
+			if s.Critical {
+				v.DNSExcluded++
+			}
+		}
+		if onBit && onDNS {
+			v.Common++
+			if s.Critical {
+				v.CommonExcluded++
+			}
+		}
+		if !s.Critical && !seen[s] {
+			seen[s] = true
+			v.Dialable = append(v.Dialable, s)
+		}
+	}
+	return v
+}

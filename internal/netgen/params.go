@@ -1,0 +1,247 @@
+// Package netgen generates the synthetic network populations and churn
+// traces that stand in for the live Bitcoin network the paper measured.
+// Every calibration constant is taken from the paper's reported
+// measurements (cited inline); the generator plants the *inputs*
+// (population sizes, AS placement, lifetime mixtures, gossip composition)
+// and the analyses recompute the paper's *outputs* from the generated
+// data, so the reproduction exercises the same estimation pipeline as the
+// original study.
+package netgen
+
+import "time"
+
+// Params holds every knob of the synthetic universe. DefaultParams
+// returns the 2020 calibration; Params2019 returns the 2019 regime used
+// for the Figure 1 contrast.
+type Params struct {
+	// Seed drives all generation randomness.
+	Seed int64
+	// Scale multiplies every population size; tests use small scales,
+	// figure reproduction uses 1.0.
+	Scale float64
+	// Horizon is the measurement duration (paper: 60 days, 04 Apr –
+	// 04 Jun 2020).
+	Horizon time.Duration
+	// Epoch is the trace start time.
+	Epoch time.Time
+
+	// --- Reachable population (§III-A, Figure 3) ---
+
+	// SteadyReachable is the average number of reachable nodes online at
+	// any time (paper: 10,114 from Bitnodes).
+	SteadyReachable int
+	// PersistentReachable is the number of nodes that never leave
+	// (paper Figure 12: 3,034 end-to-end lines).
+	PersistentReachable int
+	// FreshPerDay is the arrival rate of ephemeral nodes: addresses that
+	// appear once, stay for EphemeralLifetime on average, and never
+	// return. Together with the recurring transients this reproduces the
+	// paper's 28,781 uniques, ≈708 daily departures, and ≈16.6-day mean
+	// lifetime.
+	FreshPerDay float64
+	// EphemeralLifetime is the mean single-session lifetime of fresh
+	// arrivals.
+	EphemeralLifetime time.Duration
+	// MeanSessionOn and MeanSessionOff parameterize the exponential
+	// on/off sessions of recurring transient nodes. The on/off ratio
+	// sets their duty cycle; the generator sizes the pool so the steady
+	// online population matches SteadyReachable.
+	MeanSessionOn  time.Duration
+	MeanSessionOff time.Duration
+	// FlapperFraction is the share of transient nodes with fast on/off
+	// cycles (MeanSessionOn/8); these drive the 10-minute-granularity
+	// synchronized-departure counts (3.9/10 min in 2019 vs 7.6/10 min in
+	// 2020) without inflating the daily churn much.
+	FlapperFraction float64
+	// ReachableDefaultPortPct is the share of reachable nodes on port
+	// 8333 (paper: 95.78%).
+	ReachableDefaultPortPct float64
+	// IBDFirstJoin is how long a brand-new node needs to download the
+	// blockchain before contributing to synchronization (paper: "a few
+	// days"; we use 2 days).
+	IBDFirstJoin time.Duration
+	// IBDRejoin is the catch-up time for a returning node (paper §IV-D:
+	// 11 minutes 14 seconds measured).
+	IBDRejoin time.Duration
+
+	// --- Unreachable population (§IV-A, Figures 4–5) ---
+
+	// InitialUnreachable is the number of unreachable addresses visible
+	// in gossip at the trace start (paper: ≈195K per experiment).
+	InitialUnreachable int
+	// UnreachablePerDay is the arrival rate of new unique unreachable
+	// addresses (paper: (694,696 − 195K)/60 ≈ 8.3K/day).
+	UnreachablePerDay float64
+	// UnreachableTTL is how long an unreachable address stays visible in
+	// gossip (tuned so the per-experiment count holds at ≈195K).
+	UnreachableTTL time.Duration
+	// ResponsiveFraction is the share of unreachable addresses that are
+	// actually running Bitcoin behind NAT (paper: 163,496/694,696 =
+	// 23.54%).
+	ResponsiveFraction float64
+	// ResponsiveTTLBoost multiplies the TTL of responsive addresses:
+	// real nodes outlive stale gossip entries, which is why the paper
+	// sees 27.7% responsive per experiment against 23.5% cumulative.
+	ResponsiveTTLBoost float64
+	// UnreachableDefaultPortPct is the share of unreachable addresses on
+	// port 8333 (paper: 88.54%; the rest spread over 9,414 ports).
+	UnreachableDefaultPortPct float64
+
+	// --- Addressing protocol (§IV-B, Figures 7–8) ---
+
+	// AddrReachableShare is the fraction of reachable addresses in an
+	// average ADDR message (paper: 14.9%).
+	AddrReachableShare float64
+	// MaliciousCount is the number of reachable nodes flooding
+	// unreachable-only ADDR responses (paper: 73).
+	MaliciousCount int
+	// MaliciousInAS3320 is how many of them share AS3320 (paper: 43).
+	MaliciousInAS3320 int
+	// MaliciousHeavyCount is how many flooders sent >100K addresses
+	// (paper: 8, with the maximum >400K).
+	MaliciousHeavyCount int
+
+	// --- AS placement (§IV-A1, Table I) ---
+
+	// ReachableASes, UnreachableASes, and ResponsiveASes are the numbers
+	// of distinct ASes hosting each class (paper: 2,000 / 8,494 / 4,453).
+	ReachableASes   int
+	UnreachableASes int
+	ResponsiveASes  int
+	// TailAlpha shapes each class's AS long tail; tuned so the ASes
+	// needed to cover 50% of nodes are ≈25 / 36 / 24.
+	ReachableTailAlpha   float64
+	UnreachableTailAlpha float64
+	ResponsiveTailAlpha  float64
+
+	// --- Seed databases (§III-A, Figure 3) ---
+
+	// BitnodesCoverage is the fraction of online reachable nodes the
+	// Bitnodes view lists (≈1.0; the view also lags by BitnodesLag).
+	BitnodesCoverage float64
+	// DNSListSize targets the DNS seeder database size (paper: 6,637
+	// with 6,078 common with Bitnodes).
+	DNSListSize int
+	// DNSOverlapFraction is the share of the DNS list also on Bitnodes.
+	DNSOverlapFraction float64
+	// CriticalInfraPct is the share of addresses blacklisted as critical
+	// infrastructure (paper: 439/10,114 ≈ 4.3%).
+	CriticalInfraPct float64
+
+	// --- Crawl model (§III, Figures 3–5) ---
+
+	// CrawlInterval is the cadence of crawl experiments (paper: roughly
+	// daily over 60 days).
+	CrawlInterval time.Duration
+	// ConnectSuccessRate is the probability that dialing a listed
+	// reachable node succeeds (listings go stale and inbound slots fill;
+	// paper: connected to 8,270 of ~9,700 dialable listings ≈ 0.855).
+	ConnectSuccessRate float64
+	// BookSize is the number of addresses a reachable node's tables
+	// reveal to the iterative GETADDR crawl (Algorithm 1).
+	BookSize int
+}
+
+// Paper-reported AS shares for Table I (percent of nodes per ASN). These
+// seed the generator's AS distributions; the analysis recovers them from
+// the placed populations.
+var (
+	// ReachableASShares is Table I column "% Rb".
+	ReachableASShares = map[uint32]float64{
+		3320: 8.08, 24940: 5.05, 8881: 4.60, 16509: 3.62, 6805: 2.97,
+		14061: 2.84, 7922: 2.55, 16276: 2.43, 3209: 2.06, 12322: 1.37,
+		7545: 1.33, 15169: 1.03, 3303: 0.99, 6830: 0.95, 12389: 0.94,
+		701: 0.88, 20676: 0.83, 51167: 0.82, 3352: 0.80, 4134: 0.76,
+	}
+	// UnreachableASShares is Table I column "% Urb".
+	UnreachableASShares = map[uint32]float64{
+		3320: 6.36, 4134: 5.34, 7922: 4.24, 6939: 3.69, 8881: 2.59,
+		4837: 2.28, 12389: 2.04, 6830: 1.89, 3209: 1.65, 16509: 1.54,
+		7018: 1.32, 6805: 1.31, 9009: 1.19, 2856: 1.14, 3215: 0.80,
+		4808: 0.80, 14061: 0.78, 22773: 0.74, 1221: 0.74, 24940: 0.72,
+	}
+	// ResponsiveASShares is Table I column "% Resp".
+	ResponsiveASShares = map[uint32]float64{
+		4134: 6.18, 3320: 5.90, 12389: 4.03, 4837: 3.77, 9009: 3.28,
+		8881: 3.07, 6805: 2.87, 3209: 2.51, 7922: 1.56, 14061: 1.44,
+		6830: 1.43, 3352: 1.25, 24940: 1.18, 3269: 1.15, 4808: 1.13,
+		60068: 1.12, 209: 1.11, 7545: 1.10, 701: 1.07, 16276: 0.99,
+	}
+)
+
+// DefaultParams returns the 2020 calibration at the given scale.
+func DefaultParams(seed int64, scale float64) Params {
+	return Params{
+		Seed:    seed,
+		Scale:   scale,
+		Horizon: 60 * 24 * time.Hour,
+		Epoch:   time.Date(2020, time.April, 4, 0, 0, 0, 0, time.UTC),
+
+		SteadyReachable:         10114,
+		PersistentReachable:     3034,
+		FreshPerDay:             177,
+		EphemeralLifetime:       4 * 24 * time.Hour,
+		MeanSessionOn:           12 * 24 * time.Hour,
+		MeanSessionOff:          24 * 24 * time.Hour,
+		FlapperFraction:         0.08,
+		ReachableDefaultPortPct: 0.9578,
+		IBDFirstJoin:            48 * time.Hour,
+		IBDRejoin:               11*time.Minute + 14*time.Second,
+
+		InitialUnreachable:        195000,
+		UnreachablePerDay:         8300,
+		UnreachableTTL:            21 * 24 * time.Hour,
+		ResponsiveFraction:        0.2354,
+		ResponsiveTTLBoost:        1.7,
+		UnreachableDefaultPortPct: 0.8854,
+
+		AddrReachableShare:  0.149,
+		MaliciousCount:      73,
+		MaliciousInAS3320:   43,
+		MaliciousHeavyCount: 8,
+
+		ReachableASes:        2000,
+		UnreachableASes:      8494,
+		ResponsiveASes:       4453,
+		ReachableTailAlpha:   0.65,
+		UnreachableTailAlpha: 0.82,
+		ResponsiveTailAlpha:  0.68,
+
+		BitnodesCoverage:   0.96,
+		DNSListSize:        6637,
+		DNSOverlapFraction: 0.916, // 6,078 / 6,637
+		CriticalInfraPct:   0.0434,
+
+		CrawlInterval:      24 * time.Hour,
+		ConnectSuccessRate: 0.855,
+		BookSize:           2500,
+	}
+}
+
+// Params2019 returns the 2019 regime: identical protocol but roughly half
+// the churn among synchronized nodes (paper §IV-D: 3.9 vs 7.6
+// synchronized departures per 10 minutes), realized as longer sessions
+// and fewer flappers.
+func Params2019(seed int64, scale float64) Params {
+	p := DefaultParams(seed, scale)
+	p.Epoch = time.Date(2019, time.September, 1, 0, 0, 0, 0, time.UTC)
+	p.MeanSessionOn = 24 * 24 * time.Hour
+	p.MeanSessionOff = 48 * 24 * time.Hour
+	p.FlapperFraction = 0.06
+	p.FreshPerDay = 90
+	p.EphemeralLifetime = 6 * 24 * time.Hour
+	return p
+}
+
+// scaled applies the Scale factor to a population size, with a floor of
+// one when the unscaled value is positive.
+func (p Params) scaled(n int) int {
+	v := int(float64(n) * p.Scale)
+	if v < 1 && n > 0 {
+		v = 1
+	}
+	return v
+}
+
+// scaledF applies the Scale factor to a rate.
+func (p Params) scaledF(v float64) float64 { return v * p.Scale }

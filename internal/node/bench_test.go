@@ -1,0 +1,59 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// BenchmarkPumpThroughput measures the round-robin message pump: inbound
+// pings answered with pongs across 20 peers.
+func BenchmarkPumpThroughput(b *testing.B) {
+	env := newFakeEnv()
+	n := New(testConfig(mkAddr(10, 0, 0, 1)), env)
+	n.Start()
+	for i := 0; i < 20; i++ {
+		conn := ConnID(i + 1)
+		peer := mkAddr(10, 0, 1, byte(i+1))
+		if !n.OnInbound(peer, conn) {
+			b.Fatal("inbound refused")
+		}
+		n.OnMessage(conn, &wire.MsgVersion{Timestamp: env.Now()})
+		n.OnMessage(conn, &wire.MsgVerAck{})
+	}
+	env.run(time.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.OnMessage(ConnID(i%20+1), &wire.MsgPing{Nonce: uint64(i)})
+		env.run(10 * time.Millisecond)
+	}
+}
+
+// BenchmarkHandleAddr measures ADDR ingestion into addrman.
+func BenchmarkHandleAddr(b *testing.B) {
+	env := newFakeEnv()
+	n := New(testConfig(mkAddr(10, 0, 0, 1)), env)
+	n.Start()
+	if !n.OnInbound(mkAddr(10, 0, 0, 2), 1) {
+		b.Fatal("inbound refused")
+	}
+	n.OnMessage(1, &wire.MsgVersion{Timestamp: env.Now()})
+	n.OnMessage(1, &wire.MsgVerAck{})
+	env.run(time.Second)
+	batch := make([]wire.NetAddress, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range batch {
+			v := i*100 + j
+			batch[j] = wire.NetAddress{
+				Addr:      mkAddr(byte(v>>16)+1, byte(v>>8), byte(v), 1),
+				Timestamp: env.Now(),
+			}
+		}
+		n.OnMessage(1, &wire.MsgAddr{AddrList: batch})
+		env.run(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,140 @@
+package node
+
+import (
+	"net/netip"
+	"time"
+
+	"repro/internal/chainhash"
+)
+
+// EventType enumerates instrumentation events.
+type EventType int
+
+// Instrumentation event types. Analyses subscribe to these to produce the
+// paper's figures.
+const (
+	// EvStarted fires when the node starts.
+	EvStarted EventType = iota + 1
+	// EvStopped fires when the node stops.
+	EvStopped
+	// EvDialAttempt fires for every outbound connection attempt — the
+	// Figure 7 denominator.
+	EvDialAttempt
+	// EvDialSuccess fires when a dial completes — the Figure 7 numerator.
+	EvDialSuccess
+	// EvDialFail fires when a dial fails.
+	EvDialFail
+	// EvConnOpen fires when a connection is established (either side).
+	EvConnOpen
+	// EvConnClose fires when a connection closes.
+	EvConnClose
+	// EvInboundRefused fires when an inbound connection is turned away.
+	EvInboundRefused
+	// EvHandshake fires when VERSION/VERACK completes.
+	EvHandshake
+	// EvAddrReceived fires for every received ADDR message.
+	EvAddrReceived
+	// EvTxReceived fires when a transaction first enters the mempool.
+	EvTxReceived
+	// EvTxRelayed fires when a transaction announcement leaves for a
+	// peer; Delay carries receive-to-relay latency (Figure 11).
+	EvTxRelayed
+	// EvBlockReceived fires when a block is first received and accepted.
+	EvBlockReceived
+	// EvBlockRelayed fires when a block announcement leaves for a peer;
+	// Delay carries receive-to-relay latency (Figure 10).
+	EvBlockRelayed
+	// EvBlockMined fires when this node produces a block.
+	EvBlockMined
+	// EvSyncDone fires when initial block download completes.
+	EvSyncDone
+)
+
+// String returns the event type name.
+func (t EventType) String() string {
+	switch t {
+	case EvStarted:
+		return "started"
+	case EvStopped:
+		return "stopped"
+	case EvDialAttempt:
+		return "dial-attempt"
+	case EvDialSuccess:
+		return "dial-success"
+	case EvDialFail:
+		return "dial-fail"
+	case EvConnOpen:
+		return "conn-open"
+	case EvConnClose:
+		return "conn-close"
+	case EvInboundRefused:
+		return "inbound-refused"
+	case EvHandshake:
+		return "handshake"
+	case EvAddrReceived:
+		return "addr-received"
+	case EvTxReceived:
+		return "tx-received"
+	case EvTxRelayed:
+		return "tx-relayed"
+	case EvBlockReceived:
+		return "block-received"
+	case EvBlockRelayed:
+		return "block-relayed"
+	case EvBlockMined:
+		return "block-mined"
+	case EvSyncDone:
+		return "sync-done"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one instrumentation record. Fields beyond Type, Time, and Node
+// are populated per type.
+type Event struct {
+	// Type discriminates the record.
+	Type EventType
+	// Time is the (virtual) time of the event.
+	Time time.Time
+	// Node is the reporting node's address.
+	Node netip.AddrPort
+	// Peer is the remote address, when applicable.
+	Peer netip.AddrPort
+	// Conn is the connection, when applicable.
+	Conn ConnID
+	// Dir is the connection direction, when applicable.
+	Dir Direction
+	// Hash identifies the block or transaction, when applicable.
+	Hash chainhash.Hash
+	// Delay carries relay latency for EvTxRelayed/EvBlockRelayed.
+	Delay time.Duration
+	// Count carries ADDR sizes: for EvAddrReceived, the total number of
+	// addresses.
+	Count int
+	// Err carries the failure for EvDialFail.
+	Err error
+}
+
+// EventSink consumes instrumentation events.
+type EventSink interface {
+	// OnEvent receives one event. Implementations must not retain
+	// pointers into the node and should return quickly.
+	OnEvent(ev Event)
+}
+
+// SinkFunc adapts a function to the EventSink interface.
+type SinkFunc func(ev Event)
+
+// OnEvent implements EventSink.
+func (f SinkFunc) OnEvent(ev Event) { f(ev) }
+
+// MultiSink fans events out to several sinks.
+type MultiSink []EventSink
+
+// OnEvent implements EventSink.
+func (m MultiSink) OnEvent(ev Event) {
+	for _, s := range m {
+		s.OnEvent(ev)
+	}
+}

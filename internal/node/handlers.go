@@ -1,0 +1,541 @@
+package node
+
+import (
+	"net/netip"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/chainhash"
+	"repro/internal/wire"
+)
+
+// maxBlocksInFlight bounds concurrent block downloads during IBD.
+const maxBlocksInFlight = 16
+
+// handleMessage is the ProcessMessage equivalent: dispatches one inbound
+// message. It runs inside the pump loop.
+func (n *Node) handleMessage(p *Peer, msg wire.Message) {
+	switch m := msg.(type) {
+	case *wire.MsgVersion:
+		n.handleVersion(p, m)
+	case *wire.MsgVerAck:
+		n.handleVerAck(p)
+	case *wire.MsgPing:
+		n.queueMsg(p, &wire.MsgPong{Nonce: m.Nonce}, classControl)
+	case *wire.MsgPong:
+		// Keepalive acknowledged; nothing to do.
+	case *wire.MsgGetAddr:
+		n.handleGetAddr(p)
+	case *wire.MsgAddr:
+		n.handleAddr(p, m)
+	case *wire.MsgInv:
+		n.handleInv(p, m)
+	case *wire.MsgGetData:
+		n.handleGetData(p, m)
+	case *wire.MsgTx:
+		n.handleTx(p, m)
+	case *wire.MsgBlock:
+		n.handleBlock(p, m)
+	case *wire.MsgHeaders:
+		n.handleHeaders(p, m)
+	case *wire.MsgGetHeaders:
+		n.handleGetHeaders(p, m)
+	case *wire.MsgSendCmpct:
+		p.wantsCmpct = m.Announce
+	case *wire.MsgCmpctBlock:
+		n.handleCmpctBlock(p, m)
+	case *wire.MsgGetBlockTxn:
+		n.handleGetBlockTxn(p, m)
+	case *wire.MsgBlockTxn:
+		n.handleBlockTxn(p, m)
+	default:
+		// Unknown or irrelevant (reject/notfound): ignore.
+	}
+}
+
+// handleVersion processes the peer's VERSION message.
+func (n *Node) handleVersion(p *Peer, m *wire.MsgVersion) {
+	if p.versionReceived {
+		return // duplicate VERSION; ignore
+	}
+	p.versionReceived = true
+	p.startHeight = m.StartHeight
+	p.userAgent = m.UserAgent
+	if p.dir == Inbound {
+		// Responder sends its VERSION after seeing the initiator's.
+		n.queueMsg(p, n.versionMsg(), classControl)
+	}
+	n.queueMsg(p, &wire.MsgVerAck{}, classControl)
+	n.maybeCompleteHandshake(p)
+}
+
+// handleVerAck processes the peer's VERACK.
+func (n *Node) handleVerAck(p *Peer) {
+	p.verackReceived = true
+	n.maybeCompleteHandshake(p)
+}
+
+// maybeCompleteHandshake finishes connection setup once both VERSION and
+// VERACK have arrived.
+func (n *Node) maybeCompleteHandshake(p *Peer) {
+	if p.handshook || !p.versionReceived || !p.verackReceived {
+		return
+	}
+	p.handshook = true
+	n.emit(Event{
+		Type: EvHandshake, Time: n.env.Now(), Node: n.cfg.Self.Addr,
+		Peer: p.addr, Dir: p.dir, Conn: p.id,
+	})
+	switch p.dir {
+	case Feeler:
+		// Feelers exist only to verify reachability: mark the address
+		// good (moving it new → tried) and disconnect.
+		n.addrman.Good(p.addr)
+		n.disconnectPeer(p)
+		return
+	case Outbound:
+		n.addrman.Good(p.addr)
+		if !p.getAddrSent {
+			p.getAddrSent = true
+			n.queueMsg(p, &wire.MsgGetAddr{}, classAddr)
+		}
+		// Self-advertisement: every node gossips its own address.
+		self := n.cfg.Self
+		self.Timestamp = n.env.Now()
+		n.queueMsg(p, &wire.MsgAddr{AddrList: []wire.NetAddress{self}}, classAddr)
+	}
+	if n.cfg.CompactBlocks {
+		n.queueMsg(p, &wire.MsgSendCmpct{Announce: true, Version: 1}, classControl)
+	}
+	// Begin or continue header sync with peers that are ahead.
+	if p.startHeight > n.chain.Height() {
+		n.requestHeaders(p)
+	} else if p.dir == Outbound && !n.syncedOnce {
+		// The peer is not ahead: we are at (or past) its tip.
+		n.markSynced()
+	}
+}
+
+// disconnectPeer drops the connection locally and tells the environment.
+func (n *Node) disconnectPeer(p *Peer) {
+	n.removePeer(p)
+	n.env.Disconnect(p.id)
+	n.emit(Event{
+		Type: EvConnClose, Time: n.env.Now(), Node: n.cfg.Self.Addr,
+		Peer: p.addr, Dir: p.dir, Conn: p.id,
+	})
+}
+
+// requestHeaders queues a GETHEADERS for everything after our tip.
+func (n *Node) requestHeaders(p *Peer) {
+	n.queueMsg(p, &wire.MsgGetHeaders{
+		ProtocolVersion:    wire.ProtocolVersion,
+		BlockLocatorHashes: n.chain.Locator(),
+	}, classControl)
+}
+
+// handleGetAddr answers with the addrman sample (or the configured
+// responder override). Bitcoin Core answers a single GETADDR per
+// connection, which the crawler's Algorithm 1 works around by
+// reconnecting; we keep the single-response rule.
+func (n *Node) handleGetAddr(p *Peer) {
+	if p.addrResponded {
+		return
+	}
+	p.addrResponded = true
+	var list []wire.NetAddress
+	if n.cfg.GetAddrResponder != nil {
+		list = n.cfg.GetAddrResponder()
+	} else {
+		self := n.cfg.Self
+		self.Timestamp = n.env.Now()
+		list = append([]wire.NetAddress{self}, n.addrman.GetAddr()...)
+	}
+	// Respect the wire cap in chunks of MaxAddrPerMsg.
+	for len(list) > 0 {
+		chunk := list
+		if len(chunk) > wire.MaxAddrPerMsg {
+			chunk = chunk[:wire.MaxAddrPerMsg]
+		}
+		n.queueMsg(p, &wire.MsgAddr{AddrList: chunk}, classAddr)
+		list = list[len(chunk):]
+	}
+}
+
+// handleAddr folds gossiped addresses into addrman. This is the exact
+// ingestion point the paper's malicious flooders exploit: nothing here
+// can distinguish reachable from unreachable addresses.
+func (n *Node) handleAddr(p *Peer, m *wire.MsgAddr) {
+	n.emit(Event{
+		Type: EvAddrReceived, Time: n.env.Now(), Node: n.cfg.Self.Addr,
+		Peer: p.addr, Count: len(m.AddrList),
+	})
+	n.addrman.Add(m.AddrList, p.addr.Addr())
+}
+
+// handleInv requests announced objects we lack.
+func (n *Node) handleInv(p *Peer, m *wire.MsgInv) {
+	var want []wire.InvVect
+	for _, iv := range m.InvList {
+		p.markKnown(iv.Hash)
+		switch iv.Type {
+		case wire.InvTypeTx:
+			if !n.mempool.Have(iv.Hash) {
+				want = append(want, iv)
+			}
+		case wire.InvTypeBlock:
+			if n.chain.HaveBlock(iv.Hash) {
+				continue
+			}
+			if _, inFlight := n.blocksInFlight[iv.Hash]; inFlight {
+				continue
+			}
+			n.blocksInFlight[iv.Hash] = p.id
+			want = append(want, iv)
+		}
+	}
+	if len(want) > 0 {
+		gd := &wire.MsgGetData{}
+		gd.InvList = want
+		n.queueMsg(p, gd, classControl)
+	}
+}
+
+// handleGetData serves requested objects. Served bodies carry the relay
+// mark: the paper's relay-delay metric runs from when this node received
+// the object to when the last connection got it, and for peers without
+// compact relay that is the body transfer, not the announcement.
+func (n *Node) handleGetData(p *Peer, m *wire.MsgGetData) {
+	var missing []wire.InvVect
+	for _, iv := range m.InvList {
+		switch iv.Type {
+		case wire.InvTypeTx:
+			if tx := n.mempool.Get(iv.Hash); tx != nil {
+				n.queueRelay(p, tx, classTx, n.relayMarkFor(iv.Hash))
+				continue
+			}
+			missing = append(missing, iv)
+		case wire.InvTypeBlock:
+			if blk, err := n.chain.BlockByHash(iv.Hash); err == nil {
+				n.queueRelay(p, blk, classBlock, n.relayMarkFor(iv.Hash))
+				continue
+			}
+			missing = append(missing, iv)
+		}
+	}
+	if len(missing) > 0 {
+		nf := &wire.MsgNotFound{}
+		nf.InvList = missing
+		n.queueMsg(p, nf, classControl)
+	}
+}
+
+// relayFreshness bounds which body transfers count as relay: a peer that
+// requests an object we announced does so within an INV→GETDATA round
+// trip of our receipt, while a catching-up peer requests objects we have
+// held for much longer (serving those is not relay in the paper's
+// debug.log sense, and the time-since-receipt of old data would dominate
+// the metric).
+const relayFreshness = 15 * time.Second
+
+// relayMarkFor builds relay instrumentation for an object seen recently;
+// unknown or stale objects get a zero mark (no event emitted).
+func (n *Node) relayMarkFor(h chainhash.Hash) outMsg {
+	seen, ok := n.seenTimes[h]
+	if !ok || n.env.Now().Sub(seen) > relayFreshness {
+		return outMsg{}
+	}
+	return outMsg{relayMark: h, recvAt: seen}
+}
+
+// handleTx accepts a transaction into the mempool and relays it.
+func (n *Node) handleTx(p *Peer, m *wire.MsgTx) {
+	h, added := n.mempool.Add(m)
+	p.markKnown(h)
+	if !added {
+		return
+	}
+	now := n.env.Now()
+	n.noteSeen(h, now)
+	n.emit(Event{
+		Type: EvTxReceived, Time: now, Node: n.cfg.Self.Addr,
+		Peer: p.addr, Hash: h,
+	})
+	n.announceTx(h, p.id, now)
+}
+
+// SubmitTx injects a locally-generated transaction (the simulation's
+// wallet equivalent) and relays it to all peers.
+func (n *Node) SubmitTx(tx *wire.MsgTx) chainhash.Hash {
+	h, added := n.mempool.Add(tx)
+	if !added {
+		return h
+	}
+	now := n.env.Now()
+	n.noteSeen(h, now)
+	n.emit(Event{
+		Type: EvTxReceived, Time: now, Node: n.cfg.Self.Addr, Hash: h,
+	})
+	n.announceTx(h, 0, now)
+	return h
+}
+
+// announceTx queues a transaction INV to every handshook peer that does
+// not already know it.
+func (n *Node) announceTx(h chainhash.Hash, except ConnID, recvAt time.Time) {
+	for _, id := range n.rrOrder {
+		p := n.peers[id]
+		if p == nil || !p.handshook || p.id == except || p.knows(h) {
+			continue
+		}
+		p.markKnown(h)
+		inv := &wire.MsgInv{}
+		inv.InvList = []wire.InvVect{{Type: wire.InvTypeTx, Hash: h}}
+		n.queueRelay(p, inv, classTx, outMsg{relayMark: h, recvAt: recvAt})
+	}
+}
+
+// handleBlock processes a full block body.
+func (n *Node) handleBlock(p *Peer, m *wire.MsgBlock) {
+	h := m.BlockHash()
+	p.markKnown(h)
+	delete(n.blocksInFlight, h)
+	n.acceptAndRelayBlock(p, m)
+	n.continueSync(p)
+}
+
+// acceptAndRelayBlock validates, stores, announces, and accounts a newly
+// received block. Returns true when the block extended the chain.
+func (n *Node) acceptAndRelayBlock(p *Peer, m *wire.MsgBlock) bool {
+	h := m.BlockHash()
+	if n.chain.HaveBlock(h) {
+		return false
+	}
+	if _, err := n.chain.Accept(m); err != nil {
+		// Orphan or invalid. For orphans, resync headers from this peer;
+		// the block will be re-requested in order.
+		if p != nil && !n.chain.HaveBlock(m.Header.PrevBlock) {
+			n.requestHeaders(p)
+		}
+		return false
+	}
+	now := n.env.Now()
+	n.noteSeen(h, now)
+	n.mempool.RemoveBlockTxs(m)
+	var peerAddr netip.AddrPort
+	if p != nil {
+		peerAddr = p.addr
+	}
+	n.emit(Event{
+		Type: EvBlockReceived, Time: now, Node: n.cfg.Self.Addr,
+		Peer: peerAddr, Hash: h,
+	})
+	except := ConnID(0)
+	if p != nil {
+		except = p.id
+	}
+	n.announceBlock(m, except, now)
+	return true
+}
+
+// announceBlock queues a block announcement (compact block or INV) to
+// every handshook peer that does not know the block yet.
+func (n *Node) announceBlock(blk *wire.MsgBlock, except ConnID, recvAt time.Time) {
+	h := blk.BlockHash()
+	var cmpct *wire.MsgCmpctBlock
+	for _, id := range n.pumpOrder() {
+		p := n.peers[id]
+		if p == nil || !p.handshook || p.id == except || p.knows(h) {
+			continue
+		}
+		p.markKnown(h)
+		mark := outMsg{relayMark: h, recvAt: recvAt}
+		if n.cfg.CompactBlocks && p.wantsCmpct {
+			if cmpct == nil {
+				cmpct = chain.BuildCompactBlock(blk, n.env.Rand().Uint64())
+			}
+			n.queueRelay(p, cmpct, classBlock, mark)
+			continue
+		}
+		inv := &wire.MsgInv{}
+		inv.InvList = []wire.InvVect{{Type: wire.InvTypeBlock, Hash: h}}
+		n.queueRelay(p, inv, classBlock, mark)
+	}
+}
+
+// handleHeaders learns about blocks ahead of our tip and requests their
+// bodies in order.
+func (n *Node) handleHeaders(p *Peer, m *wire.MsgHeaders) {
+	requested := 0
+	for i := range m.Headers {
+		h := m.Headers[i].BlockHash()
+		if n.chain.HaveBlock(h) {
+			continue
+		}
+		if _, inFlight := n.blocksInFlight[h]; inFlight {
+			continue
+		}
+		if len(n.blocksInFlight) >= maxBlocksInFlight {
+			break
+		}
+		n.blocksInFlight[h] = p.id
+		gd := &wire.MsgGetData{}
+		gd.InvList = []wire.InvVect{{Type: wire.InvTypeBlock, Hash: h}}
+		n.queueMsg(p, gd, classControl)
+		requested++
+	}
+	if requested == 0 && len(m.Headers) == 0 && len(n.blocksInFlight) == 0 {
+		// The peer has nothing newer: header sync is complete.
+		n.markSynced()
+	}
+}
+
+// continueSync keeps IBD moving: when in-flight block downloads drain and
+// the peer may still be ahead, ask for more headers.
+func (n *Node) continueSync(p *Peer) {
+	if len(n.blocksInFlight) != 0 {
+		return
+	}
+	if p != nil && p.startHeight > n.chain.Height() {
+		n.requestHeaders(p)
+		return
+	}
+	n.markSynced()
+}
+
+// markSynced records IBD completion (once).
+func (n *Node) markSynced() {
+	if n.syncedOnce {
+		return
+	}
+	n.syncedOnce = true
+	n.emit(Event{
+		Type: EvSyncDone, Time: n.env.Now(), Node: n.cfg.Self.Addr,
+	})
+}
+
+// handleGetHeaders serves headers following the peer's locator.
+func (n *Node) handleGetHeaders(p *Peer, m *wire.MsgGetHeaders) {
+	hdrs := n.chain.HeadersAfter(m.BlockLocatorHashes, 2000)
+	n.queueMsg(p, &wire.MsgHeaders{Headers: hdrs}, classControl)
+}
+
+// handleCmpctBlock attempts BIP-152 reconstruction; missing transactions
+// trigger a GETBLOCKTXN round trip, coupling block relay latency to
+// transaction relay latency exactly as §IV-C describes.
+func (n *Node) handleCmpctBlock(p *Peer, m *wire.MsgCmpctBlock) {
+	h := m.BlockHash()
+	p.markKnown(h)
+	if n.chain.HaveBlock(h) {
+		return
+	}
+	if !n.chain.HaveBlock(m.Header.PrevBlock) {
+		// Can't connect it yet; fall back to header sync.
+		n.requestHeaders(p)
+		return
+	}
+	res, err := chain.ReconstructCompactBlock(m, n.mempool)
+	if err != nil {
+		// Short-ID collision: fall back to a full block request.
+		n.blocksInFlight[h] = p.id
+		gd := &wire.MsgGetData{}
+		gd.InvList = []wire.InvVect{{Type: wire.InvTypeBlock, Hash: h}}
+		n.queueMsg(p, gd, classControl)
+		return
+	}
+	if res.Complete {
+		n.acceptAndRelayBlock(p, res.Block)
+		return
+	}
+	n.pendingCmpct[h] = &pendingCompact{cb: m, partial: res, from: p.id}
+	n.queueMsg(p, &wire.MsgGetBlockTxn{
+		BlockHash: h,
+		Indexes:   res.MissingIndexes,
+	}, classBlock)
+}
+
+// handleGetBlockTxn serves the transactions a peer is missing from a
+// compact block we relayed.
+func (n *Node) handleGetBlockTxn(p *Peer, m *wire.MsgGetBlockTxn) {
+	blk, err := n.chain.BlockByHash(m.BlockHash)
+	if err != nil {
+		nf := &wire.MsgNotFound{}
+		nf.InvList = []wire.InvVect{{Type: wire.InvTypeBlock, Hash: m.BlockHash}}
+		n.queueMsg(p, nf, classControl)
+		return
+	}
+	resp, err := chain.BlockTxnFor(blk, m)
+	if err != nil {
+		return
+	}
+	n.queueMsg(p, resp, classBlock)
+}
+
+// handleBlockTxn completes a pending compact-block reconstruction.
+func (n *Node) handleBlockTxn(p *Peer, m *wire.MsgBlockTxn) {
+	pend, ok := n.pendingCmpct[m.BlockHash]
+	if !ok {
+		return
+	}
+	delete(n.pendingCmpct, m.BlockHash)
+	blk, err := chain.CompleteReconstruction(pend.cb, pend.partial, n.mempool, m)
+	if err != nil {
+		// Reconstruction failed: request the full block.
+		n.blocksInFlight[m.BlockHash] = p.id
+		gd := &wire.MsgGetData{}
+		gd.InvList = []wire.InvVect{{Type: wire.InvTypeBlock, Hash: m.BlockHash}}
+		n.queueMsg(p, gd, classControl)
+		return
+	}
+	n.acceptAndRelayBlock(p, blk)
+}
+
+// MineBlock produces a block on top of the current tip containing up to
+// maxTxs mempool transactions, accepts it locally, and announces it. The
+// simulation harness invokes this on the scheduled miner.
+func (n *Node) MineBlock(maxTxs int) (*wire.MsgBlock, error) {
+	tip, height := n.chain.Tip()
+	coinbase := wire.MsgTx{
+		Version: 2,
+		TxIn: []wire.TxIn{{
+			PreviousOutPoint: wire.OutPoint{Index: 0xffffffff},
+			SignatureScript: []byte{
+				byte(height + 1), byte((height + 1) >> 8),
+				byte((height + 1) >> 16), byte((height + 1) >> 24),
+			},
+			Sequence: 0xffffffff,
+		}},
+		TxOut: []wire.TxOut{{Value: 6_2500_0000, PkScript: []byte{0x51}}},
+	}
+	blk := &wire.MsgBlock{
+		Header: wire.BlockHeader{
+			Version:   4,
+			PrevBlock: tip,
+			Timestamp: uint32(n.env.Now().Unix()),
+			Bits:      0x207fffff,
+			Nonce:     n.env.Rand().Uint32(),
+		},
+		Transactions: []wire.MsgTx{coinbase},
+	}
+	for _, h := range n.mempool.Hashes() {
+		if maxTxs > 0 && len(blk.Transactions) > maxTxs {
+			break
+		}
+		if tx := n.mempool.Get(h); tx != nil {
+			blk.Transactions = append(blk.Transactions, *tx)
+		}
+	}
+	blk.Header.MerkleRoot = chain.BlockMerkleRoot(blk)
+	if _, err := n.chain.Accept(blk); err != nil {
+		return nil, err
+	}
+	n.mempool.RemoveBlockTxs(blk)
+	now := n.env.Now()
+	n.noteSeen(blk.BlockHash(), now)
+	n.emit(Event{
+		Type: EvBlockMined, Time: now, Node: n.cfg.Self.Addr,
+		Hash: blk.BlockHash(),
+	})
+	n.announceBlock(blk, 0, now)
+	return blk, nil
+}

@@ -1,0 +1,57 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TestHeadOfLineBlocking verifies the §IV-C mechanism end to end: a large
+// block body being serialized to one peer delays the announcements queued
+// for other peers in the same message-handler loop.
+func TestHeadOfLineBlocking(t *testing.T) {
+	env := newFakeEnv()
+	cfg := testConfig(mkAddr(10, 0, 0, 1))
+	cfg.BytesPerSec = 200 << 10 // 1MB body ≈ 5.2s serialization
+	var events []Event
+	cfg.Sink = SinkFunc(func(ev Event) { events = append(events, ev) })
+	n := New(cfg, env)
+	n.Start()
+	completeHandshake(t, n, env, 1, mkAddr(10, 0, 1, 1), 0)
+	completeHandshake(t, n, env, 2, mkAddr(10, 0, 1, 2), 0)
+	env.run(time.Second)
+
+	blk, err := n.MineBlock(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peer 1 requests the body; in the same batch a tx arrives from
+	// peer 2 and must be announced to peer 1 — behind the 5.2s body.
+	gd := &wire.MsgGetData{}
+	gd.InvList = []wire.InvVect{{Type: wire.InvTypeBlock, Hash: blk.BlockHash()}}
+	n.OnMessage(1, gd)
+	tx := makeSpendTx(3)
+	n.OnMessage(2, &tx)
+	env.run(30 * time.Second)
+
+	var bodyDelay, txDelay time.Duration
+	for _, ev := range events {
+		switch ev.Type {
+		case EvBlockRelayed:
+			if ev.Delay > bodyDelay {
+				bodyDelay = ev.Delay
+			}
+		case EvTxRelayed:
+			if ev.Delay > txDelay {
+				txDelay = ev.Delay
+			}
+		}
+	}
+	if bodyDelay < 5*time.Second {
+		t.Errorf("body relay delay = %v, want >= ~5.2s", bodyDelay)
+	}
+	if txDelay < 4*time.Second {
+		t.Errorf("tx relay delay = %v, want several seconds (queued behind the body)", txDelay)
+	}
+}

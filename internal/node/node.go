@@ -1,0 +1,665 @@
+// Package node implements a full Bitcoin node as a deterministic state
+// machine, reproducing the Bitcoin Core v0.20.1 mechanisms the paper's
+// §IV analyzes at the source level:
+//
+//   - connection management: 8 outbound slots filled by sampling addrman's
+//     new/tried tables with equal probability, up to 117 inbound slots, and
+//     periodic feeler connections (§IV-B);
+//   - the ADDR/GETADDR gossip protocol, including self-advertisement and
+//     the 1000-address response cap (§III, §IV-B);
+//   - the net.cpp message-handling architecture: per-peer vProcessMsg and
+//     vSendMsg queues drained by a round-robin loop that services one
+//     message per connection per iteration (Figure 9 / Algorithm 3), which
+//     is the root cause of the block relay delays in §IV-C;
+//   - INV-based and BIP-152 compact-block relay, initial block download,
+//     and mempool maintenance.
+//
+// The node performs no I/O itself. It runs against an Env (clock, timers,
+// dialing, transmission), which the simnet package implements with virtual
+// time and the tcpnet package implements over real sockets. Relay policy
+// is pluggable so the paper's §V refinement (priority block relay to
+// outbound connections) can be compared against the stock round-robin and
+// the idealized broadcast of the theoretical models.
+package node
+
+import (
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/addrman"
+	"repro/internal/chain"
+	"repro/internal/chainhash"
+	"repro/internal/wire"
+)
+
+// ConnID identifies a connection. IDs are assigned by the environment and
+// are opaque to the node.
+type ConnID int64
+
+// Direction classifies a connection relative to this node.
+type Direction int
+
+// Connection directions.
+const (
+	// Outbound connections are dialed by this node and always reach
+	// reachable peers — the distinction §V's priority relay exploits.
+	Outbound Direction = iota + 1
+	// Inbound connections are accepted from reachable or unreachable
+	// peers.
+	Inbound
+	// Feeler connections probe new-table addresses and disconnect
+	// immediately after a successful handshake.
+	Feeler
+)
+
+// String returns a short direction label.
+func (d Direction) String() string {
+	switch d {
+	case Outbound:
+		return "outbound"
+	case Inbound:
+		return "inbound"
+	case Feeler:
+		return "feeler"
+	default:
+		return "unknown"
+	}
+}
+
+// RelayPolicy selects how queued messages are scheduled across
+// connections.
+type RelayPolicy int
+
+// Relay policies.
+const (
+	// RoundRobin is Bitcoin Core's behaviour: one message per connection
+	// per message-handler loop (Algorithm 3 in the paper).
+	RoundRobin RelayPolicy = iota + 1
+	// Broadcast is the idealized lock-step model of the theoretical
+	// literature: announcements leave to every connection simultaneously.
+	Broadcast
+	// PriorityOutbound is the paper's §V refinement: blocks jump the send
+	// queue and outbound (always-reachable) connections are serviced
+	// first.
+	PriorityOutbound
+)
+
+// String returns the policy name.
+func (p RelayPolicy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case Broadcast:
+		return "broadcast"
+	case PriorityOutbound:
+		return "priority-outbound"
+	default:
+		return "unknown"
+	}
+}
+
+// Env is the node's window to the outside world. Implementations provide
+// time, randomness, timers, and connectivity; the simnet implementation
+// uses virtual time, the tcpnet implementation real sockets.
+type Env interface {
+	// Now returns the current (possibly virtual) time.
+	Now() time.Time
+	// Rand returns the node's random source.
+	Rand() *rand.Rand
+	// Schedule runs fn after d elapses. Implementations may drop the
+	// callback if the node is stopped before it fires.
+	Schedule(d time.Duration, fn func())
+	// Dial asynchronously opens a connection to remote; the result
+	// arrives via OnDialResult.
+	Dial(remote netip.AddrPort)
+	// Transmit puts msg on the wire for conn after the given local
+	// serialization delay. Delivery latency is the environment's
+	// business.
+	Transmit(conn ConnID, msg wire.Message, delay time.Duration)
+	// Disconnect closes conn; both ends observe OnDisconnect.
+	Disconnect(conn ConnID)
+}
+
+// Default protocol limits, matching Bitcoin Core.
+const (
+	// DefaultMaxOutbound is the outbound connection target.
+	DefaultMaxOutbound = 8
+	// DefaultMaxInbound is the inbound connection capacity.
+	DefaultMaxInbound = 117
+	// DefaultMaxFeelers is the number of concurrent feeler connections.
+	DefaultMaxFeelers = 2
+	// DefaultFeelerInterval is how often a feeler is attempted.
+	DefaultFeelerInterval = 2 * time.Minute
+	// DefaultConnectInterval is how often the openConnections loop tries
+	// to fill an empty outbound slot.
+	DefaultConnectInterval = 500 * time.Millisecond
+	// DefaultLoopOverhead is the fixed cost of one message-handler loop
+	// iteration.
+	DefaultLoopOverhead = time.Millisecond
+	// DefaultMsgProcTime is the processing cost of one inbound message.
+	DefaultMsgProcTime = 200 * time.Microsecond
+	// DefaultBytesPerSec is the effective per-socket serialization rate.
+	DefaultBytesPerSec = 2 << 20
+	// DefaultBlockSizeHint is the synthetic full-block wire size used for
+	// timing when simulated blocks carry few transactions (real 2020
+	// blocks average ~1.2 MB).
+	DefaultBlockSizeHint = 1 << 20
+)
+
+// Config parameterizes a node.
+type Config struct {
+	// Self is the node's own advertised address.
+	Self wire.NetAddress
+	// Reachable nodes accept inbound connections; unreachable nodes (the
+	// paper's NATed population) only dial out.
+	Reachable bool
+	// MaxOutbound, MaxInbound, and MaxFeelers bound the connection slots
+	// (defaults applied when zero; negative disables that slot type,
+	// which tests use to isolate one maintenance loop).
+	MaxOutbound int
+	MaxInbound  int
+	MaxFeelers  int
+	// FeelerInterval and ConnectInterval control the maintenance cadence.
+	FeelerInterval  time.Duration
+	ConnectInterval time.Duration
+	// ConnectIdleInterval is the maintenance cadence while all outbound
+	// slots are filled; a larger value keeps large simulations cheap
+	// without changing behaviour (the loop is re-armed immediately on
+	// disconnect).
+	ConnectIdleInterval time.Duration
+	// MaxPendingDials caps concurrent outbound connection attempts.
+	// Bitcoin Core's ThreadOpenConnections is strictly serial (one
+	// blocking connect per loop — use 1 to model it); the default equals
+	// MaxOutbound, which recovers slots faster.
+	MaxPendingDials int
+	// RelayPolicy selects the message scheduling policy (RoundRobin when
+	// zero).
+	RelayPolicy RelayPolicy
+	// CompactBlocks enables BIP-152 high-bandwidth block relay.
+	CompactBlocks bool
+	// AddrHorizon overrides the addrman eviction horizon (§V refinement).
+	AddrHorizon time.Duration
+	// TriedOnlyGetAddr makes GETADDR responses sample only the tried
+	// table (§V refinement).
+	TriedOnlyGetAddr bool
+	// GetAddrResponder, when non-nil, overrides the ADDR response —
+	// the hook used to model the paper's §IV-B malicious flooders.
+	GetAddrResponder func() []wire.NetAddress
+	// SeedAddrs boot the address manager (DNS-seeder equivalent).
+	SeedAddrs []wire.NetAddress
+	// Genesis anchors the chain. Required.
+	Genesis *wire.MsgBlock
+	// UserAgent is advertised in the VERSION handshake.
+	UserAgent string
+	// LoopOverhead, MsgProcTime, BytesPerSec, and BlockSizeHint
+	// parameterize the service-time model (defaults applied when zero).
+	LoopOverhead  time.Duration
+	MsgProcTime   time.Duration
+	BytesPerSec   int
+	BlockSizeHint int
+	// Sink receives instrumentation events; nil discards them.
+	Sink EventSink
+	// AddrManKey seeds addrman bucket placement.
+	AddrManKey uint64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.MaxOutbound == 0 {
+		c.MaxOutbound = DefaultMaxOutbound
+	}
+	if c.MaxInbound == 0 {
+		c.MaxInbound = DefaultMaxInbound
+	}
+	if c.MaxFeelers == 0 {
+		c.MaxFeelers = DefaultMaxFeelers
+	}
+	if c.FeelerInterval == 0 {
+		c.FeelerInterval = DefaultFeelerInterval
+	}
+	if c.ConnectInterval == 0 {
+		c.ConnectInterval = DefaultConnectInterval
+	}
+	if c.ConnectIdleInterval == 0 {
+		c.ConnectIdleInterval = 30 * time.Second
+	}
+	if c.MaxPendingDials == 0 {
+		c.MaxPendingDials = c.MaxOutbound
+	}
+	if c.RelayPolicy == 0 {
+		c.RelayPolicy = RoundRobin
+	}
+	if c.LoopOverhead == 0 {
+		c.LoopOverhead = DefaultLoopOverhead
+	}
+	if c.MsgProcTime == 0 {
+		c.MsgProcTime = DefaultMsgProcTime
+	}
+	if c.BytesPerSec == 0 {
+		c.BytesPerSec = DefaultBytesPerSec
+	}
+	if c.BlockSizeHint == 0 {
+		c.BlockSizeHint = DefaultBlockSizeHint
+	}
+	if c.UserAgent == "" {
+		c.UserAgent = "/Satoshi:0.20.1(repro)/"
+	}
+	return c
+}
+
+// Node is the deterministic Bitcoin node state machine. All methods must
+// be called from the environment's event loop (single-threaded execution,
+// as with the simnet scheduler); the node performs no internal locking.
+type Node struct {
+	cfg Config
+	env Env
+
+	addrman *addrman.AddrMan
+	chain   *chain.Chain
+	mempool *chain.Mempool
+
+	peers      map[ConnID]*Peer
+	byAddr     map[netip.AddrPort]*Peer
+	dialing    map[netip.AddrPort]Direction
+	rrOrder    []ConnID // stable round-robin order
+	pending    int      // total queued messages across all peers
+	pumpArmed  bool
+	busyUntil  time.Time // virtual time the current loop's socket work ends
+	maintGen   uint64    // supersession counter for maintenance scheduling
+	started    bool
+	stopped    bool
+	syncedOnce bool
+
+	// Connection statistics (Figure 6/7 observables).
+	dialAttempts  int
+	dialSuccesses int
+
+	// blocksInFlight tracks requested blocks to avoid duplicate GETDATA.
+	blocksInFlight map[chainhash.Hash]ConnID
+	// seenTimes records when each object (block or tx) was first seen,
+	// for relay-delay instrumentation: the paper measures receive-to-
+	// last-connection delay including body transfers.
+	seenTimes map[chainhash.Hash]time.Time
+	// pendingCmpct holds compact blocks awaiting GETBLOCKTXN completion.
+	pendingCmpct map[chainhash.Hash]*pendingCompact
+}
+
+// pendingCompact is a compact block whose reconstruction awaits a
+// BLOCKTXN response.
+type pendingCompact struct {
+	cb      *wire.MsgCmpctBlock
+	partial *chain.ReconstructResult
+	from    ConnID
+}
+
+// New constructs a node bound to env. Call Start to bring it online.
+func New(cfg Config, env Env) *Node {
+	cfg = cfg.withDefaults()
+	if cfg.Genesis == nil {
+		panic("node: Config.Genesis is required")
+	}
+	n := &Node{
+		cfg:            cfg,
+		env:            env,
+		chain:          chain.New(cfg.Genesis),
+		mempool:        chain.NewMempool(),
+		peers:          make(map[ConnID]*Peer),
+		byAddr:         make(map[netip.AddrPort]*Peer),
+		dialing:        make(map[netip.AddrPort]Direction),
+		blocksInFlight: make(map[chainhash.Hash]ConnID),
+		pendingCmpct:   make(map[chainhash.Hash]*pendingCompact),
+		seenTimes:      make(map[chainhash.Hash]time.Time),
+	}
+	n.addrman = addrman.New(addrman.Config{
+		Key:              cfg.AddrManKey,
+		Horizon:          cfg.AddrHorizon,
+		TriedOnlyGetAddr: cfg.TriedOnlyGetAddr,
+		Now:              env.Now,
+		Rand:             env.Rand(),
+	})
+	return n
+}
+
+// Start boots the node: seeds the address manager and begins the
+// connection maintenance and feeler loops.
+func (n *Node) Start() {
+	if n.started {
+		return
+	}
+	n.started = true
+	if len(n.cfg.SeedAddrs) > 0 {
+		n.addrman.Add(n.cfg.SeedAddrs, n.cfg.Self.Addr.Addr())
+	}
+	n.emit(Event{Type: EvStarted, Node: n.cfg.Self.Addr, Time: n.env.Now()})
+	n.scheduleMaintenance(0)
+	n.env.Schedule(n.cfg.FeelerInterval, n.feelerTick)
+}
+
+// Stop takes the node offline: every connection is dropped and future
+// callbacks become no-ops.
+func (n *Node) Stop() {
+	if n.stopped {
+		return
+	}
+	n.stopped = true
+	for id := range n.peers {
+		n.env.Disconnect(id)
+	}
+	n.peers = make(map[ConnID]*Peer)
+	n.byAddr = make(map[netip.AddrPort]*Peer)
+	n.rrOrder = nil
+	n.emit(Event{Type: EvStopped, Node: n.cfg.Self.Addr, Time: n.env.Now()})
+}
+
+// Stopped reports whether Stop was called.
+func (n *Node) Stopped() bool { return n.stopped }
+
+// Self returns the node's advertised address.
+func (n *Node) Self() netip.AddrPort { return n.cfg.Self.Addr }
+
+// Chain exposes the node's chain state (read-mostly; analyses sample tip
+// heights).
+func (n *Node) Chain() *chain.Chain { return n.chain }
+
+// Mempool exposes the node's transaction pool.
+func (n *Node) Mempool() *chain.Mempool { return n.mempool }
+
+// AddrMan exposes the node's address manager for measurement code.
+func (n *Node) AddrMan() *addrman.AddrMan { return n.addrman }
+
+// DialStats reports outbound connection attempts and successes since
+// start — the Figure 7 observables.
+func (n *Node) DialStats() (attempts, successes int) {
+	return n.dialAttempts, n.dialSuccesses
+}
+
+// PeerAddrs returns the remote addresses of current connections,
+// filtered by direction (0 = all).
+func (n *Node) PeerAddrs(dir Direction) []netip.AddrPort {
+	out := make([]netip.AddrPort, 0, len(n.rrOrder))
+	for _, id := range n.rrOrder {
+		p := n.peers[id]
+		if p == nil {
+			continue
+		}
+		if dir != 0 && p.dir != dir {
+			continue
+		}
+		out = append(out, p.addr)
+	}
+	return out
+}
+
+// ConnCounts returns the number of established connections by direction —
+// the Figure 6 observable (feelers included).
+func (n *Node) ConnCounts() (outbound, inbound, feelers int) {
+	for _, p := range n.peers {
+		switch p.dir {
+		case Outbound:
+			outbound++
+		case Inbound:
+			inbound++
+		case Feeler:
+			feelers++
+		}
+	}
+	return outbound, inbound, feelers
+}
+
+// IsSynced reports whether the node believes it is at the network tip
+// (completed at least one header sync with no outstanding block
+// requests).
+func (n *Node) IsSynced() bool {
+	return n.syncedOnce && len(n.blocksInFlight) == 0
+}
+
+// noteSeen records the first-seen time of an object, bounding the map.
+func (n *Node) noteSeen(h chainhash.Hash, t time.Time) {
+	const maxSeen = 8192
+	if len(n.seenTimes) >= maxSeen {
+		n.seenTimes = make(map[chainhash.Hash]time.Time, maxSeen/4)
+	}
+	if _, ok := n.seenTimes[h]; !ok {
+		n.seenTimes[h] = t
+	}
+}
+
+// emit delivers an instrumentation event to the configured sink.
+func (n *Node) emit(ev Event) {
+	if n.cfg.Sink != nil {
+		n.cfg.Sink.OnEvent(ev)
+	}
+}
+
+// openConnectionsTick fills empty outbound slots, one dial per tick, then
+// reschedules itself — Bitcoin Core's ThreadOpenConnections cadence.
+func (n *Node) openConnectionsTick() {
+	if n.stopped {
+		return
+	}
+	outbound, _, _ := n.ConnCounts()
+	pendingOut := 0
+	for _, dir := range n.dialing {
+		if dir == Outbound {
+			pendingOut++
+		}
+	}
+	interval := n.cfg.ConnectIdleInterval
+	if outbound+pendingOut < n.cfg.MaxOutbound && pendingOut < n.cfg.MaxPendingDials {
+		if na, ok := n.selectDialTarget(false); ok {
+			n.startDial(na, Outbound)
+		}
+		interval = n.cfg.ConnectInterval
+	}
+	n.scheduleMaintenance(interval)
+}
+
+// scheduleMaintenance arms the next openConnectionsTick, superseding any
+// previously scheduled one (so a disconnect can pull the next attempt
+// forward without creating duplicate tick chains).
+func (n *Node) scheduleMaintenance(d time.Duration) {
+	n.maintGen++
+	gen := n.maintGen
+	n.env.Schedule(d, func() {
+		if gen != n.maintGen {
+			return
+		}
+		n.openConnectionsTick()
+	})
+}
+
+// feelerTick opens short-lived feeler connections that test new-table
+// addresses, moving responsive ones to tried (Bitcoin Core PR #9037,
+// which the paper's Figure 6 observes as connections 9 and 10).
+func (n *Node) feelerTick() {
+	if n.stopped {
+		return
+	}
+	_, _, feelers := n.ConnCounts()
+	pendingFeelers := 0
+	for _, dir := range n.dialing {
+		if dir == Feeler {
+			pendingFeelers++
+		}
+	}
+	if feelers+pendingFeelers < n.cfg.MaxFeelers {
+		if na, ok := n.selectDialTarget(true); ok {
+			n.startDial(na, Feeler)
+		}
+	}
+	n.env.Schedule(n.cfg.FeelerInterval, n.feelerTick)
+}
+
+// selectDialTarget samples addrman for a dialable address, skipping self,
+// current peers, and in-flight dials.
+func (n *Node) selectDialTarget(newOnly bool) (wire.NetAddress, bool) {
+	const tries = 20
+	for i := 0; i < tries; i++ {
+		na, ok := n.addrman.Select(newOnly)
+		if !ok {
+			return wire.NetAddress{}, false
+		}
+		if na.Addr == n.cfg.Self.Addr {
+			continue
+		}
+		if _, connected := n.byAddr[na.Addr]; connected {
+			continue
+		}
+		if _, inFlight := n.dialing[na.Addr]; inFlight {
+			continue
+		}
+		return na, true
+	}
+	return wire.NetAddress{}, false
+}
+
+// startDial records the attempt and hands the dial to the environment.
+func (n *Node) startDial(na wire.NetAddress, dir Direction) {
+	n.dialing[na.Addr] = dir
+	n.dialAttempts++
+	n.addrman.Attempt(na.Addr)
+	n.emit(Event{
+		Type: EvDialAttempt, Node: n.cfg.Self.Addr, Peer: na.Addr,
+		Dir: dir, Time: n.env.Now(),
+	})
+	n.env.Dial(na.Addr)
+}
+
+// OnDialResult is invoked by the environment when a dial completes.
+func (n *Node) OnDialResult(remote netip.AddrPort, conn ConnID, err error) {
+	if n.stopped {
+		if err == nil {
+			n.env.Disconnect(conn)
+		}
+		return
+	}
+	dir, ok := n.dialing[remote]
+	if !ok {
+		dir = Outbound
+	}
+	delete(n.dialing, remote)
+	if err != nil {
+		n.emit(Event{
+			Type: EvDialFail, Node: n.cfg.Self.Addr, Peer: remote,
+			Dir: dir, Time: n.env.Now(), Err: err,
+		})
+		return
+	}
+	n.dialSuccesses++
+	n.emit(Event{
+		Type: EvDialSuccess, Node: n.cfg.Self.Addr, Peer: remote,
+		Dir: dir, Time: n.env.Now(), Conn: conn,
+	})
+	p := n.addPeer(conn, remote, dir)
+	// The initiator speaks first: VERSION.
+	n.queueMsg(p, n.versionMsg(), classControl)
+}
+
+// OnInbound is invoked by the environment when a remote peer connects.
+// It returns false when the connection must be refused (capacity or
+// unreachable policy).
+func (n *Node) OnInbound(remote netip.AddrPort, conn ConnID) bool {
+	if n.stopped || !n.cfg.Reachable {
+		return false
+	}
+	_, inbound, _ := n.ConnCounts()
+	if inbound >= n.cfg.MaxInbound {
+		n.emit(Event{
+			Type: EvInboundRefused, Node: n.cfg.Self.Addr, Peer: remote,
+			Time: n.env.Now(),
+		})
+		return false
+	}
+	n.addPeer(conn, remote, Inbound)
+	n.emit(Event{
+		Type: EvConnOpen, Node: n.cfg.Self.Addr, Peer: remote,
+		Dir: Inbound, Time: n.env.Now(), Conn: conn,
+	})
+	return true
+}
+
+// OnDisconnect is invoked by the environment when a connection closes.
+func (n *Node) OnDisconnect(conn ConnID) {
+	p, ok := n.peers[conn]
+	if !ok {
+		return
+	}
+	n.removePeer(p)
+	n.emit(Event{
+		Type: EvConnClose, Node: n.cfg.Self.Addr, Peer: p.addr,
+		Dir: p.dir, Time: n.env.Now(), Conn: conn,
+	})
+	// Blocks requested from this peer will never arrive; clear them so
+	// they can be re-requested from another peer at the next header sync.
+	for h, c := range n.blocksInFlight {
+		if c == conn {
+			delete(n.blocksInFlight, h)
+		}
+	}
+	// A dropped outbound connection frees a slot: try to refill promptly
+	// rather than waiting out the idle maintenance interval.
+	if p.dir == Outbound && !n.stopped {
+		n.scheduleMaintenance(0)
+	}
+}
+
+// OnMessage is invoked by the environment when a message arrives on conn.
+// The message is queued into the peer's vProcessMsg equivalent and
+// handled by the round-robin pump.
+func (n *Node) OnMessage(conn ConnID, msg wire.Message) {
+	if n.stopped {
+		return
+	}
+	p, ok := n.peers[conn]
+	if !ok {
+		return
+	}
+	p.pushRecv(msg)
+	n.pending++
+	n.armPump()
+}
+
+// addPeer registers a connection.
+func (n *Node) addPeer(conn ConnID, remote netip.AddrPort, dir Direction) *Peer {
+	p := &Peer{
+		id:        conn,
+		addr:      remote,
+		dir:       dir,
+		connected: n.env.Now(),
+		knownInv:  make(map[chainhash.Hash]struct{}),
+	}
+	n.peers[conn] = p
+	n.byAddr[remote] = p
+	n.rrOrder = append(n.rrOrder, conn)
+	return p
+}
+
+// removePeer unregisters a connection.
+func (n *Node) removePeer(p *Peer) {
+	n.pending -= p.recvLen() + p.queueLen()
+	delete(n.peers, p.id)
+	if n.byAddr[p.addr] == p {
+		delete(n.byAddr, p.addr)
+	}
+	for i, id := range n.rrOrder {
+		if id == p.id {
+			n.rrOrder = append(n.rrOrder[:i], n.rrOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// versionMsg builds this node's VERSION message.
+func (n *Node) versionMsg() *wire.MsgVersion {
+	return &wire.MsgVersion{
+		ProtocolVersion: wire.ProtocolVersion,
+		Services:        n.cfg.Self.Services,
+		Timestamp:       n.env.Now(),
+		AddrMe:          n.cfg.Self,
+		Nonce:           n.env.Rand().Uint64(),
+		UserAgent:       n.cfg.UserAgent,
+		StartHeight:     n.chain.Height(),
+		Relay:           true,
+	}
+}

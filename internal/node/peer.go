@@ -1,0 +1,151 @@
+package node
+
+import (
+	"net/netip"
+	"time"
+
+	"repro/internal/chainhash"
+	"repro/internal/wire"
+)
+
+// msgClass labels queued outbound messages for the relay-policy
+// scheduler.
+type msgClass int
+
+const (
+	// classControl covers handshake and keepalive traffic.
+	classControl msgClass = iota + 1
+	// classAddr covers ADDR/GETADDR gossip.
+	classAddr
+	// classTx covers transaction announcements and bodies.
+	classTx
+	// classBlock covers block announcements and bodies — the class the
+	// §V refinement prioritizes.
+	classBlock
+)
+
+// outMsg is one entry of a peer's vSendMsg queue.
+type outMsg struct {
+	msg      wire.Message
+	class    msgClass
+	enqueued time.Time
+	// relayMark carries the object hash for relay-delay instrumentation
+	// (zero when not a tracked relay).
+	relayMark chainhash.Hash
+	// recvAt is when the relayed object was originally received, for
+	// relay-delay events.
+	recvAt time.Time
+}
+
+// Peer is the node-side state of one connection, mirroring Bitcoin Core's
+// CNode: the vProcessMsg receive queue, the vSendMsg send queue, and the
+// relay bookkeeping.
+type Peer struct {
+	id        ConnID
+	addr      netip.AddrPort
+	dir       Direction
+	connected time.Time
+
+	// Handshake state.
+	versionReceived bool
+	verackReceived  bool
+	handshook       bool
+	startHeight     int32
+	userAgent       string
+
+	// recvQ is the vProcessMsg equivalent: inbound messages awaiting the
+	// message-handler loop. recvHead indexes the next message (popping
+	// advances the head instead of shifting, keeping pops O(1)).
+	recvQ    []wire.Message
+	recvHead int
+	// sendQ is the vSendMsg equivalent: outbound messages awaiting the
+	// socket-handler loop, with the same head-index scheme.
+	sendQ    []outMsg
+	sendHead int
+
+	// knownInv tracks object hashes this peer is known to have, to avoid
+	// redundant announcements.
+	knownInv map[chainhash.Hash]struct{}
+
+	// wantsCmpct reports whether the peer negotiated BIP-152 relay.
+	wantsCmpct bool
+
+	// getAddrSent ensures a single GETADDR per outbound connection.
+	getAddrSent bool
+	// addrResponded limits GETADDR responses (Bitcoin Core answers once).
+	addrResponded bool
+}
+
+// Addr returns the peer's remote address.
+func (p *Peer) Addr() netip.AddrPort { return p.addr }
+
+// Dir returns the connection direction.
+func (p *Peer) Dir() Direction { return p.dir }
+
+// Handshook reports whether the VERSION/VERACK exchange completed.
+func (p *Peer) Handshook() bool { return p.handshook }
+
+// markKnown records that the peer has (or was sent) the object.
+// The map is bounded: once it grows past maxKnownInv it is reset, which
+// only costs an occasional duplicate announcement.
+func (p *Peer) markKnown(h chainhash.Hash) {
+	const maxKnownInv = 8192
+	if len(p.knownInv) >= maxKnownInv {
+		p.knownInv = make(map[chainhash.Hash]struct{}, maxKnownInv/4)
+	}
+	p.knownInv[h] = struct{}{}
+}
+
+// knows reports whether the peer is known to have the object.
+func (p *Peer) knows(h chainhash.Hash) bool {
+	_, ok := p.knownInv[h]
+	return ok
+}
+
+// queueLen returns the depth of the peer's send queue.
+func (p *Peer) queueLen() int { return len(p.sendQ) - p.sendHead }
+
+// recvLen returns the depth of the peer's receive queue.
+func (p *Peer) recvLen() int { return len(p.recvQ) - p.recvHead }
+
+// pushRecv appends an inbound message.
+func (p *Peer) pushRecv(msg wire.Message) { p.recvQ = append(p.recvQ, msg) }
+
+// popRecv removes and returns the oldest inbound message.
+func (p *Peer) popRecv() wire.Message {
+	msg := p.recvQ[p.recvHead]
+	p.recvQ[p.recvHead] = nil
+	p.recvHead++
+	if p.recvHead == len(p.recvQ) {
+		p.recvQ = p.recvQ[:0]
+		p.recvHead = 0
+	}
+	return msg
+}
+
+// pushSend appends an outbound message.
+func (p *Peer) pushSend(out outMsg) { p.sendQ = append(p.sendQ, out) }
+
+// popSend removes and returns the oldest outbound message.
+func (p *Peer) popSend() outMsg {
+	out := p.sendQ[p.sendHead]
+	p.sendQ[p.sendHead] = outMsg{}
+	p.sendHead++
+	if p.sendHead == len(p.sendQ) {
+		p.sendQ = p.sendQ[:0]
+		p.sendHead = 0
+	}
+	return out
+}
+
+// insertSendPriority inserts out after any existing classBlock entries at
+// the front of the send queue (the §V priority-relay placement).
+func (p *Peer) insertSendPriority(out outMsg) {
+	insert := p.sendHead
+	for insert < len(p.sendQ) && p.sendQ[insert].class == classBlock {
+		insert++
+	}
+	p.sendQ = append(p.sendQ, outMsg{})
+	copy(p.sendQ[insert+1:], p.sendQ[insert:])
+	p.sendQ[insert] = out
+}

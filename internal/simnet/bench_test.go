@@ -1,0 +1,53 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSchedulerThroughput measures raw event dispatch.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	s := NewScheduler(time.Unix(0, 0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			s.After(time.Millisecond, tick)
+		}
+	}
+	s.After(0, tick)
+	s.RunUntil(time.Unix(0, 0).Add(time.Duration(b.N+1) * time.Millisecond))
+	if count < b.N {
+		b.Fatalf("executed %d of %d", count, b.N)
+	}
+}
+
+// BenchmarkSmallNetworkMinute measures a 20-node network advancing one
+// virtual minute with block production.
+func BenchmarkSmallNetworkMinute(b *testing.B) {
+	net := newTestNet(99)
+	first := addr4(10, 4, 0, 1, 8333)
+	var hosts []*Host
+	for i := 0; i < 20; i++ {
+		self := addr4(10, 4, 0, byte(i+1), 8333)
+		cfg := nodeCfg(self, nil)
+		if self != first {
+			cfg.SeedAddrs = seedsOf(net.Now(), first)
+		}
+		h := net.AddFullNode(cfg)
+		h.Start()
+		hosts = append(hosts, h)
+	}
+	net.Scheduler().RunFor(2 * time.Minute)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Scheduler().After(0, func() {
+			_, _ = hosts[i%len(hosts)].Node().MineBlock(0)
+		})
+		net.Scheduler().RunFor(time.Minute)
+	}
+}

@@ -1,0 +1,130 @@
+package simnet
+
+import (
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/wire"
+)
+
+// Host is one simulated endpoint. Full-node hosts own a node.Node
+// instance per online session; stubs only participate in dial/probe
+// semantics. Host implements node.Env for its current node.
+type Host struct {
+	net     *Network
+	addr    netip.AddrPort
+	kind    HostKind
+	nodeCfg node.Config
+
+	node   *node.Node
+	online bool
+	// epoch increments on every Start/Stop so callbacks scheduled for a
+	// previous session become no-ops.
+	epoch int
+
+	links map[node.ConnID]*link
+	rng   *rand.Rand
+}
+
+// Addr returns the host's address.
+func (h *Host) Addr() netip.AddrPort { return h.addr }
+
+// Kind returns the host kind.
+func (h *Host) Kind() HostKind { return h.kind }
+
+// Online reports whether the host is currently up.
+func (h *Host) Online() bool { return h.online }
+
+// Node returns the current node instance (nil for stubs and offline
+// full-node hosts).
+func (h *Host) Node() *node.Node { return h.node }
+
+// Config returns the node configuration template used at Start.
+func (h *Host) Config() node.Config { return h.nodeCfg }
+
+// SetConfig replaces the node configuration template used by the next
+// Start (it does not affect a running node).
+func (h *Host) SetConfig(cfg node.Config) { h.nodeCfg = cfg }
+
+// Start brings the host online. Full-node hosts construct and start a
+// fresh node instance (a restart models a node rejoining the network:
+// its addrman starts from the configured seeds, and its chain from
+// genesis unless the previous session's state was explicitly carried
+// over via SetConfig hooks).
+func (h *Host) Start() {
+	if h.online {
+		return
+	}
+	h.online = true
+	h.epoch++
+	if h.kind != KindFull {
+		return
+	}
+	h.node = node.New(h.nodeCfg, h)
+	h.node.Start()
+}
+
+// Stop takes the host offline, closing every link.
+func (h *Host) Stop() {
+	if !h.online {
+		return
+	}
+	h.online = false
+	h.epoch++
+	// Close links under iteration: collect first.
+	ids := make([]node.ConnID, 0, len(h.links))
+	for id := range h.links {
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		h.net.closeLink(h, id)
+	}
+	if h.node != nil {
+		h.node.Stop()
+		h.node = nil
+	}
+}
+
+// --- node.Env implementation -------------------------------------------
+
+var _ node.Env = (*Host)(nil)
+
+// Now implements node.Env.
+func (h *Host) Now() time.Time { return h.net.sched.Now() }
+
+// Rand implements node.Env.
+func (h *Host) Rand() *rand.Rand {
+	if h.rng == nil {
+		h.rng = rand.New(rand.NewSource(int64(pairHash(h.addr.Addr(), h.addr.Addr()))))
+	}
+	return h.rng
+}
+
+// Schedule implements node.Env. Callbacks are dropped if the host session
+// that scheduled them has ended.
+func (h *Host) Schedule(d time.Duration, fn func()) {
+	epoch := h.epoch
+	h.net.sched.After(d, func() {
+		if h.epoch != epoch || !h.online {
+			return
+		}
+		fn()
+	})
+}
+
+// Dial implements node.Env.
+func (h *Host) Dial(remote netip.AddrPort) {
+	h.net.dial(h, remote)
+}
+
+// Transmit implements node.Env.
+func (h *Host) Transmit(conn node.ConnID, msg wire.Message, delay time.Duration) {
+	h.net.transmit(h, conn, msg, delay)
+}
+
+// Disconnect implements node.Env.
+func (h *Host) Disconnect(conn node.ConnID) {
+	h.net.closeLink(h, conn)
+}

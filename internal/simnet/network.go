@@ -1,0 +1,336 @@
+package simnet
+
+import (
+	"errors"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/wire"
+)
+
+// Dial failure modes, distinguishable with errors.Is.
+var (
+	// ErrTimeout reports a dial that never received an answer (the
+	// target is offline or silently drops SYNs) — resolved only after
+	// the full dial timeout, the cost §IV-B attributes to unreachable
+	// addresses in addrman.
+	ErrTimeout = errors.New("simnet: dial timeout")
+	// ErrRefused reports an active refusal: the target is up but does
+	// not accept inbound connections (NATed/unreachable node answering
+	// with RST/FIN, the paper's "responsive" class) or is out of inbound
+	// capacity.
+	ErrRefused = errors.New("simnet: connection refused")
+)
+
+// HostKind classifies simulated endpoints.
+type HostKind int
+
+// Host kinds.
+const (
+	// KindFull hosts run the complete node state machine.
+	KindFull HostKind = iota + 1
+	// KindResponsiveStub models an unreachable node that is running
+	// Bitcoin but only refuses inbound connections (answers the
+	// scanner's VER probe with a FIN). It generates no traffic.
+	KindResponsiveStub
+	// KindSilentStub models an address whose firewall drops everything;
+	// dials and probes time out.
+	KindSilentStub
+)
+
+// Config parameterizes a Network.
+type Config struct {
+	// Epoch is the virtual start time.
+	Epoch time.Time
+	// Seed drives all randomness in the network and its nodes.
+	Seed int64
+	// Latency is the one-way link delay model (defaults to a 20–100 ms
+	// hash latency).
+	Latency LatencyFunc
+	// DialTimeout is how long an unanswered dial takes to fail
+	// (default 5 s, Bitcoin Core's connect timeout).
+	DialTimeout time.Duration
+	// HandshakeRTTs is the number of latency units consumed by TCP
+	// connection establishment before the protocol handshake
+	// (default 2: SYN + SYNACK/ACK).
+	HandshakeRTTs int
+	// FastFailPct is the percentage of dials to dead addresses that fail
+	// quickly with a refusal (RST from a host that departed) instead of
+	// waiting out the full timeout (SYN silently dropped by a NAT). The
+	// outcome is deterministic per address. Default 50.
+	FastFailPct int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epoch.IsZero() {
+		c.Epoch = time.Unix(1585958400, 0).UTC() // 04 Apr 2020, the crawl start
+	}
+	if c.Latency == nil {
+		c.Latency = HashLatency(20*time.Millisecond, 100*time.Millisecond)
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.HandshakeRTTs == 0 {
+		c.HandshakeRTTs = 2
+	}
+	if c.FastFailPct == 0 {
+		c.FastFailPct = 50
+	}
+	return c
+}
+
+// link is an established connection between two hosts. Both endpoints
+// address it by the same ConnID.
+type link struct {
+	id     node.ConnID
+	a, b   *Host
+	closed bool
+}
+
+// other returns the opposite endpoint.
+func (l *link) other(h *Host) *Host {
+	if l.a == h {
+		return l.b
+	}
+	return l.a
+}
+
+// Network owns the simulated hosts, links, and the event scheduler.
+type Network struct {
+	cfg   Config
+	sched *Scheduler
+	rng   *rand.Rand
+	hosts map[netip.AddrPort]*Host
+	links map[node.ConnID]*link
+	next  node.ConnID
+}
+
+// New creates an empty simulated network.
+func New(cfg Config) *Network {
+	cfg = cfg.withDefaults()
+	return &Network{
+		cfg:   cfg,
+		sched: NewScheduler(cfg.Epoch),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		hosts: make(map[netip.AddrPort]*Host),
+		links: make(map[node.ConnID]*link),
+	}
+}
+
+// Scheduler exposes the event scheduler for harness-driven workloads
+// (block mining ticks, churn traces, measurements).
+func (n *Network) Scheduler() *Scheduler { return n.sched }
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Time { return n.sched.Now() }
+
+// Rand returns the network-wide random source. Only use from inside
+// scheduled callbacks.
+func (n *Network) Rand() *rand.Rand { return n.rng }
+
+// Host returns the host registered at addr, or nil.
+func (n *Network) Host(addr netip.AddrPort) *Host { return n.hosts[addr] }
+
+// Hosts returns the registered hosts keyed by address. Map iteration
+// order is randomized; callers needing deterministic order should keep
+// their own list. Intended for measurement sweeps where order does not
+// matter.
+func (n *Network) Hosts() map[netip.AddrPort]*Host { return n.hosts }
+
+// AddFullNode registers a host at cfg.Self running the full node state
+// machine. The host starts offline; call Host.Start.
+func (n *Network) AddFullNode(cfg node.Config) *Host {
+	h := &Host{
+		net:   n,
+		addr:  cfg.Self.Addr,
+		kind:  KindFull,
+		links: make(map[node.ConnID]*link),
+		rng:   rand.New(rand.NewSource(n.rng.Int63())),
+	}
+	h.nodeCfg = cfg
+	n.hosts[h.addr] = h
+	return h
+}
+
+// AddStub registers a lightweight unreachable endpoint.
+func (n *Network) AddStub(addr netip.AddrPort, responsive bool) *Host {
+	kind := KindSilentStub
+	if responsive {
+		kind = KindResponsiveStub
+	}
+	h := &Host{
+		net:   n,
+		addr:  addr,
+		kind:  kind,
+		links: make(map[node.ConnID]*link),
+	}
+	n.hosts[addr] = h
+	return h
+}
+
+// RemoveHost unregisters addr entirely (stopping it first).
+func (n *Network) RemoveHost(addr netip.AddrPort) {
+	h := n.hosts[addr]
+	if h == nil {
+		return
+	}
+	h.Stop()
+	delete(n.hosts, addr)
+}
+
+// latencyBetween returns the one-way delay between two hosts.
+func (n *Network) latencyBetween(a, b *Host) time.Duration {
+	return n.cfg.Latency(a.addr.Addr(), b.addr.Addr())
+}
+
+// dial implements the connection attempt semantics. Called by a Host on
+// behalf of its node.
+func (n *Network) dial(from *Host, remote netip.AddrPort) {
+	fromEpoch := from.epoch
+	target := n.hosts[remote]
+
+	fail := func(after time.Duration, err error) {
+		n.sched.After(after, func() {
+			if from.epoch != fromEpoch || from.node == nil {
+				return
+			}
+			from.node.OnDialResult(remote, 0, err)
+		})
+	}
+
+	// Unknown or offline targets: a deterministic per-address split
+	// between fast refusals (RST) and full SYN timeouts.
+	if target == nil || !target.online {
+		if int(pairHash(remote.Addr(), remote.Addr())%100) < n.cfg.FastFailPct {
+			rtt := n.cfg.Latency(from.addr.Addr(), remote.Addr()) *
+				time.Duration(n.cfg.HandshakeRTTs)
+			fail(rtt, ErrRefused)
+		} else {
+			fail(n.cfg.DialTimeout, ErrTimeout)
+		}
+		return
+	}
+	rtt := n.latencyBetween(from, target) * time.Duration(n.cfg.HandshakeRTTs)
+	switch target.kind {
+	case KindSilentStub:
+		fail(n.cfg.DialTimeout, ErrTimeout)
+		return
+	case KindResponsiveStub:
+		// Running Bitcoin behind NAT: actively refuses (FIN/RST).
+		fail(rtt, ErrRefused)
+		return
+	}
+	// Full node target: the accept decision happens at the target after
+	// the connection-establishment RTT.
+	targetEpoch := target.epoch
+	n.sched.After(rtt, func() {
+		if from.epoch != fromEpoch || from.node == nil {
+			return
+		}
+		if target.epoch != targetEpoch || !target.online || target.node == nil {
+			fail(n.cfg.DialTimeout-rtt, ErrTimeout)
+			return
+		}
+		n.next++
+		id := n.next
+		l := &link{id: id, a: from, b: target}
+		if !target.node.OnInbound(from.addr, id) {
+			fail(n.latencyBetween(from, target), ErrRefused)
+			return
+		}
+		n.links[id] = l
+		from.links[id] = l
+		target.links[id] = l
+		from.node.OnDialResult(remote, id, nil)
+	})
+}
+
+// transmit delivers msg over the link after the sender-side delay plus
+// link latency.
+func (n *Network) transmit(from *Host, id node.ConnID, msg wire.Message, delay time.Duration) {
+	l := n.links[id]
+	if l == nil || l.closed {
+		return
+	}
+	to := l.other(from)
+	toEpoch := to.epoch
+	total := delay + n.latencyBetween(from, to)
+	n.sched.After(total, func() {
+		if l.closed || to.epoch != toEpoch || to.node == nil || !to.online {
+			return
+		}
+		to.node.OnMessage(id, msg)
+	})
+}
+
+// closeLink tears a link down, notifying the remote endpoint after the
+// link latency and the local endpoint immediately.
+func (n *Network) closeLink(from *Host, id node.ConnID) {
+	l := n.links[id]
+	if l == nil || l.closed {
+		return
+	}
+	l.closed = true
+	delete(n.links, id)
+	delete(l.a.links, id)
+	delete(l.b.links, id)
+	local, remote := l.a, l.b
+	if from != nil && l.b == from {
+		local, remote = l.b, l.a
+	}
+	if local.node != nil {
+		local.node.OnDisconnect(id)
+	}
+	remoteEpoch := remote.epoch
+	lat := n.latencyBetween(l.a, l.b)
+	n.sched.After(lat, func() {
+		if remote.epoch != remoteEpoch || remote.node == nil {
+			return
+		}
+		remote.node.OnDisconnect(id)
+	})
+}
+
+// ProbeResult classifies the scanner's VER probe outcome (Algorithm 2).
+type ProbeResult int
+
+// Probe outcomes.
+const (
+	// ProbeSilent means nothing answered within the timeout.
+	ProbeSilent ProbeResult = iota + 1
+	// ProbeResponsive means the target answered the probe by closing the
+	// connection (FIN) — an unreachable node running Bitcoin.
+	ProbeResponsive
+	// ProbeReachable means the target accepted the connection — a
+	// reachable node.
+	ProbeReachable
+)
+
+// Probe models the Scapy VER-message scan: it reports how the endpoint at
+// addr responds, after the appropriate delay, via done. The from address
+// is only used for latency computation.
+func (n *Network) Probe(from netip.Addr, addr netip.AddrPort, done func(ProbeResult)) {
+	target := n.hosts[addr]
+	if target == nil || !target.online {
+		n.sched.After(n.cfg.DialTimeout, func() { done(ProbeSilent) })
+		return
+	}
+	lat := n.cfg.Latency(from, addr.Addr()) * time.Duration(n.cfg.HandshakeRTTs)
+	switch target.kind {
+	case KindSilentStub:
+		n.sched.After(n.cfg.DialTimeout, func() { done(ProbeSilent) })
+	case KindResponsiveStub:
+		n.sched.After(lat, func() { done(ProbeResponsive) })
+	default:
+		// Full nodes: reachable ones accept; unreachable full nodes
+		// refuse like responsive stubs.
+		if target.nodeCfg.Reachable {
+			n.sched.After(lat, func() { done(ProbeReachable) })
+		} else {
+			n.sched.After(lat, func() { done(ProbeResponsive) })
+		}
+	}
+}

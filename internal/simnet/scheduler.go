@@ -1,0 +1,126 @@
+// Package simnet is the discrete-event network simulator that stands in
+// for the live Bitcoin network: a virtual-time event scheduler, hosts
+// running the internal/node state machine, link latencies (optionally
+// AS-aware), NAT semantics for unreachable nodes, and dial/timeout
+// behaviour. It is the substrate for the paper's propagation-side
+// experiments (Figures 1, 6, 7, 10, 11 and the §V ablations).
+package simnet
+
+import (
+	"container/heap"
+	"time"
+)
+
+// event is a scheduled callback. Times are kept as Unix nanoseconds so
+// heap comparisons are plain integer compares.
+type event struct {
+	at  int64  // UnixNano
+	seq uint64 // FIFO tiebreak for simultaneous events
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler executes callbacks in virtual-time order. It is
+// single-threaded: all simulation state (nodes, hosts, addrman) is only
+// touched from inside scheduled callbacks, so no locking is needed
+// anywhere in the simulation.
+type Scheduler struct {
+	now    time.Time
+	seq    uint64
+	events eventHeap
+	count  uint64 // total events executed, for reporting
+}
+
+// NewScheduler creates a scheduler starting at epoch.
+func NewScheduler(epoch time.Time) *Scheduler {
+	return &Scheduler{now: epoch}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Time { return s.now }
+
+// Executed returns the number of events executed so far.
+func (s *Scheduler) Executed() uint64 { return s.count }
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// At schedules fn at the absolute virtual time t. Times in the past run
+// at the current time (never rewinding the clock).
+func (s *Scheduler) At(t time.Time, fn func()) {
+	if t.Before(s.now) {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t.UnixNano(), seq: s.seq, fn: fn})
+}
+
+// After schedules fn d from now. Negative d is treated as zero.
+func (s *Scheduler) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now.Add(d), fn)
+}
+
+// RunUntil executes events in order until the queue is empty or the next
+// event is after deadline. The clock ends at deadline (or the last event
+// time if it ran dry earlier and advanceToDeadline is honored).
+func (s *Scheduler) RunUntil(deadline time.Time) {
+	deadlineNS := deadline.UnixNano()
+	for len(s.events) > 0 {
+		next := s.events[0]
+		if next.at > deadlineNS {
+			break
+		}
+		heap.Pop(&s.events)
+		s.now = time.Unix(0, next.at).UTC()
+		s.count++
+		next.fn()
+	}
+	if s.now.Before(deadline) {
+		s.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d.
+func (s *Scheduler) RunFor(d time.Duration) {
+	s.RunUntil(s.now.Add(d))
+}
+
+// Drain executes every queued event regardless of time. Useful only for
+// tests on bounded workloads; simulations with self-rescheduling ticks
+// must use RunUntil.
+func (s *Scheduler) Drain(maxEvents int) {
+	for len(s.events) > 0 && maxEvents > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		s.now = time.Unix(0, ev.at).UTC()
+		s.count++
+		maxEvents--
+		ev.fn()
+	}
+}

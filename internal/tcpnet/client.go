@@ -1,0 +1,226 @@
+package tcpnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"os"
+	"syscall"
+	"time"
+
+	"repro/internal/crawler"
+	"repro/internal/wire"
+)
+
+// Dialer implements crawler.Dialer over real TCP: it connects, performs
+// the VERSION/VERACK handshake, and exposes GETADDR→ADDR exchanges.
+type Dialer struct {
+	// Net is the wire network magic (SimNet default).
+	Net wire.BitcoinNet
+	// DialTimeout bounds connection establishment.
+	DialTimeout time.Duration
+	// IOTimeout bounds per-message socket I/O.
+	IOTimeout time.Duration
+	// UserAgent is advertised in VERSION.
+	UserAgent string
+}
+
+var _ crawler.Dialer = (*Dialer)(nil)
+
+func (d *Dialer) defaults() (wire.BitcoinNet, time.Duration, time.Duration, string) {
+	network := d.Net
+	if network == 0 {
+		network = wire.SimNet
+	}
+	dt := d.DialTimeout
+	if dt == 0 {
+		dt = DefaultDialTimeout
+	}
+	iot := d.IOTimeout
+	if iot == 0 {
+		iot = DefaultIOTimeout
+	}
+	ua := d.UserAgent
+	if ua == "" {
+		ua = "/repro-crawler:1.0/"
+	}
+	return network, dt, iot, ua
+}
+
+// Dial implements crawler.Dialer.
+func (d *Dialer) Dial(addr netip.AddrPort) (crawler.Session, error) {
+	network, dialTimeout, ioTimeout, ua := d.defaults()
+	conn, err := net.DialTimeout("tcp", addr.String(), dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: dial %v: %w", addr, err)
+	}
+	sess := &tcpSession{
+		conn:      conn,
+		remote:    addr,
+		net:       network,
+		ioTimeout: ioTimeout,
+	}
+	if err := sess.handshake(ua); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("tcpnet: handshake with %v: %w", addr, err)
+	}
+	return sess, nil
+}
+
+// tcpSession is a live crawl connection.
+type tcpSession struct {
+	conn      net.Conn
+	remote    netip.AddrPort
+	net       wire.BitcoinNet
+	ioTimeout time.Duration
+}
+
+var _ crawler.Session = (*tcpSession)(nil)
+
+func (s *tcpSession) deadline() { _ = s.conn.SetDeadline(time.Now().Add(s.ioTimeout)) }
+
+// handshake performs the initiator side of VERSION/VERACK.
+func (s *tcpSession) handshake(userAgent string) error {
+	ver := &wire.MsgVersion{
+		ProtocolVersion: wire.ProtocolVersion,
+		Timestamp:       time.Now(),
+		UserAgent:       userAgent,
+	}
+	s.deadline()
+	if _, err := wire.WriteMessage(s.conn, ver, s.net); err != nil {
+		return err
+	}
+	s.deadline()
+	if _, err := wire.WriteMessage(s.conn, &wire.MsgVerAck{}, s.net); err != nil {
+		return err
+	}
+	// Expect the responder's VERSION then VERACK (order may interleave
+	// with other control messages).
+	sawVersion, sawVerack := false, false
+	for !sawVersion || !sawVerack {
+		s.deadline()
+		msg, err := wire.ReadMessage(s.conn, s.net)
+		if err != nil {
+			if errors.Is(err, wire.ErrUnknownCommand) {
+				continue
+			}
+			return err
+		}
+		switch msg.(type) {
+		case *wire.MsgVersion:
+			sawVersion = true
+		case *wire.MsgVerAck:
+			sawVerack = true
+		}
+	}
+	return nil
+}
+
+// Remote implements crawler.Session.
+func (s *tcpSession) Remote() netip.AddrPort { return s.remote }
+
+// GetAddr implements crawler.Session: one GETADDR→ADDR exchange.
+func (s *tcpSession) GetAddr() ([]wire.NetAddress, error) {
+	s.deadline()
+	if _, err := wire.WriteMessage(s.conn, &wire.MsgGetAddr{}, s.net); err != nil {
+		return nil, err
+	}
+	for {
+		s.deadline()
+		msg, err := wire.ReadMessage(s.conn, s.net)
+		if err != nil {
+			if errors.Is(err, wire.ErrUnknownCommand) {
+				continue
+			}
+			return nil, err
+		}
+		if addr, ok := msg.(*wire.MsgAddr); ok {
+			return addr.AddrList, nil
+		}
+		// Skip unrelated traffic (pings, invs).
+	}
+}
+
+// Close implements crawler.Session.
+func (s *tcpSession) Close() error { return s.conn.Close() }
+
+// Prober implements crawler.Prober over TCP, mirroring the paper's Scapy
+// probe semantics:
+//
+//   - connection refused or reset → the host is up but not accepting:
+//     responsive (running Bitcoin behind NAT, it answers with RST/FIN);
+//   - accepted but closed before completing a handshake → responsive;
+//   - accepted and handshake completes → reachable;
+//   - timeout / no route → silent.
+type Prober struct {
+	// Net is the wire network magic (SimNet default).
+	Net wire.BitcoinNet
+	// DialTimeout bounds the probe.
+	DialTimeout time.Duration
+	// IOTimeout bounds the handshake attempt after connecting.
+	IOTimeout time.Duration
+}
+
+var _ crawler.Prober = (*Prober)(nil)
+
+// Probe implements crawler.Prober.
+func (p *Prober) Probe(addr netip.AddrPort) (crawler.ProbeOutcome, error) {
+	dialTimeout := p.DialTimeout
+	if dialTimeout == 0 {
+		dialTimeout = DefaultDialTimeout
+	}
+	ioTimeout := p.IOTimeout
+	if ioTimeout == 0 {
+		ioTimeout = DefaultIOTimeout
+	}
+	network := p.Net
+	if network == 0 {
+		network = wire.SimNet
+	}
+	conn, err := net.DialTimeout("tcp", addr.String(), dialTimeout)
+	if err != nil {
+		if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) {
+			return crawler.ProbeResponsive, nil
+		}
+		var netErr net.Error
+		if errors.As(err, &netErr) && netErr.Timeout() {
+			return crawler.ProbeSilent, nil
+		}
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			return crawler.ProbeSilent, nil
+		}
+		// Unroutable and friends: treat as silent rather than failing
+		// the scan.
+		return crawler.ProbeSilent, nil
+	}
+	defer func() { _ = conn.Close() }()
+	// Send the VER probe and see whether the peer completes a handshake
+	// or slams the connection shut.
+	_ = conn.SetDeadline(time.Now().Add(ioTimeout))
+	ver := &wire.MsgVersion{
+		ProtocolVersion: wire.ProtocolVersion,
+		Timestamp:       time.Now(),
+		UserAgent:       "/repro-scanner:1.0/",
+	}
+	if _, err := wire.WriteMessage(conn, ver, network); err != nil {
+		return crawler.ProbeResponsive, nil // write failed: closed on us
+	}
+	msg, err := wire.ReadMessage(conn, network)
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+			errors.Is(err, syscall.ECONNRESET) {
+			return crawler.ProbeResponsive, nil // FIN/RST after accept
+		}
+		var netErr net.Error
+		if errors.As(err, &netErr) && netErr.Timeout() {
+			return crawler.ProbeSilent, nil
+		}
+		return crawler.ProbeResponsive, nil
+	}
+	if _, ok := msg.(*wire.MsgVersion); ok {
+		return crawler.ProbeReachable, nil
+	}
+	return crawler.ProbeResponsive, nil
+}

@@ -1,0 +1,152 @@
+package tcpnet
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/crawler"
+	"repro/internal/node"
+	"repro/internal/wire"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// newNodeServer starts a full node over loopback with fast maintenance
+// cadence for testing.
+func newNodeServer(t *testing.T, genesis *wire.MsgBlock, seeds []wire.NetAddress) *NodeServer {
+	t.Helper()
+	cfg := node.Config{
+		Reachable:       true,
+		Genesis:         genesis,
+		SeedAddrs:       seeds,
+		ConnectInterval: 50 * time.Millisecond,
+	}
+	s, err := NewNodeServer(cfg, wire.SimNet, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Logf("close: %v", err)
+		}
+	})
+	return s
+}
+
+func TestNodeServerHandshakeOverTCP(t *testing.T) {
+	genesis := chain.GenesisBlock("tcp-node-test")
+	a := newNodeServer(t, genesis, nil)
+	seeds := []wire.NetAddress{{
+		Addr: a.Addr(), Services: wire.SFNodeNetwork, Timestamp: time.Now(),
+	}}
+	b := newNodeServer(t, genesis, seeds)
+
+	waitFor(t, 10*time.Second, "outbound handshake", func() bool {
+		var out int
+		b.Do(func(n *node.Node) { out, _, _ = n.ConnCounts() })
+		return out == 1
+	})
+	waitFor(t, 10*time.Second, "inbound registered at A", func() bool {
+		var in int
+		a.Do(func(n *node.Node) { _, in, _ = n.ConnCounts() })
+		return in == 1
+	})
+	// B must have promoted A into its tried table.
+	var tried bool
+	b.Do(func(n *node.Node) { tried = n.AddrMan().InTried(a.Addr()) })
+	if !tried {
+		t.Error("peer not promoted to tried after real-TCP handshake")
+	}
+}
+
+func TestNodeServerBlockPropagationOverTCP(t *testing.T) {
+	genesis := chain.GenesisBlock("tcp-node-test")
+	a := newNodeServer(t, genesis, nil)
+	b := newNodeServer(t, genesis, []wire.NetAddress{{
+		Addr: a.Addr(), Services: wire.SFNodeNetwork, Timestamp: time.Now(),
+	}})
+	waitFor(t, 10*time.Second, "connection", func() bool {
+		var out int
+		b.Do(func(n *node.Node) { out, _, _ = n.ConnCounts() })
+		return out == 1
+	})
+	a.Do(func(n *node.Node) {
+		if _, err := n.MineBlock(0); err != nil {
+			t.Errorf("mine: %v", err)
+		}
+	})
+	waitFor(t, 10*time.Second, "block propagation", func() bool {
+		var h int32
+		b.Do(func(n *node.Node) { h = n.Chain().Height() })
+		return h == 1
+	})
+}
+
+func TestNodeServerTxPropagationOverTCP(t *testing.T) {
+	genesis := chain.GenesisBlock("tcp-node-test")
+	a := newNodeServer(t, genesis, nil)
+	b := newNodeServer(t, genesis, []wire.NetAddress{{
+		Addr: a.Addr(), Services: wire.SFNodeNetwork, Timestamp: time.Now(),
+	}})
+	waitFor(t, 10*time.Second, "connection", func() bool {
+		var out int
+		b.Do(func(n *node.Node) { out, _, _ = n.ConnCounts() })
+		return out == 1
+	})
+	tx := &wire.MsgTx{
+		Version: 2,
+		TxIn:    []wire.TxIn{{Sequence: 7, SignatureScript: []byte{9}}},
+		TxOut:   []wire.TxOut{{Value: 123, PkScript: []byte{0x51}}},
+	}
+	h := tx.TxHash()
+	b.Do(func(n *node.Node) { n.SubmitTx(tx) })
+	waitFor(t, 10*time.Second, "tx propagation", func() bool {
+		var have bool
+		a.Do(func(n *node.Node) { have = n.Mempool().Have(h) })
+		return have
+	})
+}
+
+func TestNodeServerAnswersCrawler(t *testing.T) {
+	// The real crawler (Algorithm 1) must be able to drain a live
+	// NodeServer's address tables over TCP.
+	genesis := chain.GenesisBlock("tcp-node-test")
+	seeds := make([]wire.NetAddress, 30)
+	for i := range seeds {
+		seeds[i] = wire.NetAddress{
+			Addr: netip.AddrPortFrom(
+				netip.AddrFrom4([4]byte{172, 18, 0, byte(i + 1)}), 8333),
+			Services:  wire.SFNodeNetwork,
+			Timestamp: time.Now(),
+		}
+	}
+	s := newNodeServer(t, genesis, seeds)
+	c := crawler.New(crawler.Config{}, &Dialer{})
+	snap, err := c.Crawl(time.Now(), []netip.AddrPort{s.Addr()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := snap.Reports[s.Addr()]
+	if rep == nil || !rep.Connected {
+		t.Fatal("crawler could not connect to the live node")
+	}
+	if !rep.SentOwnAddr {
+		t.Error("node did not self-advertise in its ADDR response")
+	}
+	if rep.TotalSent < 5 {
+		t.Errorf("crawler drained only %d addresses", rep.TotalSent)
+	}
+}

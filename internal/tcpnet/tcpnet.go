@@ -1,0 +1,296 @@
+// Package tcpnet carries the Bitcoin wire protocol over real TCP
+// sockets, so the crawler and scanner from internal/crawler run
+// end-to-end against genuine network I/O rather than in-process stubs.
+//
+// Three endpoint behaviours cover the paper's node classes:
+//
+//   - Server: a reachable endpoint that completes the VERSION/VERACK
+//     handshake and serves GETADDR from a configured address book
+//     (optionally with the §IV-B malicious unreachable-only behaviour);
+//   - responsive stub: accepts the TCP connection and immediately closes
+//     it (the FIN answer the paper's Scapy probe classifies as an
+//     unreachable node running Bitcoin);
+//   - silent: no listener at all — dials time out.
+package tcpnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Defaults for socket deadlines.
+const (
+	// DefaultDialTimeout bounds connection establishment.
+	DefaultDialTimeout = 2 * time.Second
+	// DefaultIOTimeout bounds individual reads and writes.
+	DefaultIOTimeout = 5 * time.Second
+)
+
+// ServerConfig parameterizes a reachable TCP endpoint.
+type ServerConfig struct {
+	// Net is the wire network magic (SimNet default).
+	Net wire.BitcoinNet
+	// Self is the address the server advertises in handshakes and
+	// self-ADDR; when zero it is filled from the listener address.
+	Self wire.NetAddress
+	// Book is the address set served to GETADDR, paged at min(23%,
+	// 1000) per response like Bitcoin Core.
+	Book []wire.NetAddress
+	// OmitSelf suppresses the self-advertisement — the malicious flooder
+	// behaviour the detection heuristic keys on.
+	OmitSelf bool
+	// UserAgent is advertised in VERSION.
+	UserAgent string
+	// IOTimeout bounds per-message socket I/O.
+	IOTimeout time.Duration
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Net == 0 {
+		c.Net = wire.SimNet
+	}
+	if c.UserAgent == "" {
+		c.UserAgent = "/Satoshi:0.20.1(repro-tcp)/"
+	}
+	if c.IOTimeout == 0 {
+		c.IOTimeout = DefaultIOTimeout
+	}
+	return c
+}
+
+// Server is a reachable wire-protocol endpoint over TCP.
+type Server struct {
+	cfg      ServerConfig
+	listener net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer starts a server listening on listenAddr (use "127.0.0.1:0"
+// for an ephemeral port).
+func NewServer(cfg ServerConfig, listenAddr string) (*Server, error) {
+	cfg = cfg.withDefaults()
+	l, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", listenAddr, err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		listener: l,
+		conns:    make(map[net.Conn]struct{}),
+	}
+	if !s.cfg.Self.Addr.IsValid() {
+		if ap, err := netip.ParseAddrPort(l.Addr().String()); err == nil {
+			s.cfg.Self = wire.NetAddress{
+				Addr:      ap,
+				Services:  wire.SFNodeNetwork,
+				Timestamp: time.Now(),
+			}
+		}
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() netip.AddrPort { return s.cfg.Self.Addr }
+
+// Close stops the listener and all live connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.listener.Close()
+	for _, c := range conns {
+		// Close errors on teardown are expected (peer may have gone).
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// acceptLoop serves connections until the listener closes.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// serve handles one inbound connection: handshake, then request loop.
+func (s *Server) serve(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	deadline := func() { _ = conn.SetDeadline(time.Now().Add(s.cfg.IOTimeout)) }
+
+	// Expect the initiator's VERSION.
+	deadline()
+	msg, err := wire.ReadMessage(conn, s.cfg.Net)
+	if err != nil {
+		return
+	}
+	if _, ok := msg.(*wire.MsgVersion); !ok {
+		return
+	}
+	// Respond VERSION then VERACK.
+	ours := &wire.MsgVersion{
+		ProtocolVersion: wire.ProtocolVersion,
+		Services:        wire.SFNodeNetwork,
+		Timestamp:       time.Now(),
+		AddrMe:          s.cfg.Self,
+		UserAgent:       s.cfg.UserAgent,
+	}
+	deadline()
+	if _, err := wire.WriteMessage(conn, ours, s.cfg.Net); err != nil {
+		return
+	}
+	deadline()
+	if _, err := wire.WriteMessage(conn, &wire.MsgVerAck{}, s.cfg.Net); err != nil {
+		return
+	}
+
+	cursor := 0
+	for {
+		deadline()
+		msg, err := wire.ReadMessage(conn, s.cfg.Net)
+		if err != nil {
+			if errors.Is(err, wire.ErrUnknownCommand) {
+				continue // skip and keep serving
+			}
+			return
+		}
+		switch m := msg.(type) {
+		case *wire.MsgVerAck:
+			// Handshake complete; nothing to do.
+		case *wire.MsgPing:
+			deadline()
+			if _, err := wire.WriteMessage(conn, &wire.MsgPong{Nonce: m.Nonce}, s.cfg.Net); err != nil {
+				return
+			}
+		case *wire.MsgGetAddr:
+			page := s.page(&cursor)
+			deadline()
+			if _, err := wire.WriteMessage(conn, &wire.MsgAddr{AddrList: page}, s.cfg.Net); err != nil {
+				return
+			}
+		default:
+			// Ignore everything else; the crawler only needs ADDR.
+		}
+	}
+}
+
+// page returns the next GETADDR response slice, advancing the cursor; a
+// drained book repeats its first page (Algorithm 1's stop condition).
+func (s *Server) page(cursor *int) []wire.NetAddress {
+	book := s.cfg.Book
+	var out []wire.NetAddress
+	if !s.cfg.OmitSelf {
+		out = append(out, s.cfg.Self)
+	}
+	if len(book) == 0 {
+		return out
+	}
+	size := len(book) * 23 / 100
+	if size > wire.MaxAddrPerMsg-len(out) {
+		size = wire.MaxAddrPerMsg - len(out)
+	}
+	if size < 1 {
+		size = 1
+	}
+	if *cursor >= len(book) {
+		end := size
+		if end > len(book) {
+			end = len(book)
+		}
+		return append(out, book[:end]...)
+	}
+	end := *cursor + size
+	if end > len(book) {
+		end = len(book)
+	}
+	out = append(out, book[*cursor:end]...)
+	*cursor = end
+	return out
+}
+
+// ResponsiveStub listens and immediately closes every accepted
+// connection — the unreachable-but-running-Bitcoin behaviour the scanner
+// classifies as responsive.
+type ResponsiveStub struct {
+	listener net.Listener
+	wg       sync.WaitGroup
+}
+
+// NewResponsiveStub starts a stub on listenAddr.
+func NewResponsiveStub(listenAddr string) (*ResponsiveStub, error) {
+	l, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", listenAddr, err)
+	}
+	s := &ResponsiveStub{listener: l}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			// Read nothing; close immediately (FIN).
+			_ = conn.Close()
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the stub's listening address.
+func (s *ResponsiveStub) Addr() netip.AddrPort {
+	ap, err := netip.ParseAddrPort(s.listener.Addr().String())
+	if err != nil {
+		return netip.AddrPort{}
+	}
+	return ap
+}
+
+// Close stops the stub.
+func (s *ResponsiveStub) Close() error {
+	err := s.listener.Close()
+	s.wg.Wait()
+	return err
+}

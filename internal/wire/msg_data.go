@@ -1,0 +1,557 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/chainhash"
+)
+
+// InvVect is a single inventory vector: a typed object hash.
+type InvVect struct {
+	// Type of the referenced object.
+	Type InvType
+	// Hash of the referenced object.
+	Hash chainhash.Hash
+}
+
+func writeInvVect(w io.Writer, iv *InvVect) error {
+	if err := writeUint32(w, uint32(iv.Type)); err != nil {
+		return err
+	}
+	_, err := w.Write(iv.Hash[:])
+	return err
+}
+
+func readInvVect(r io.Reader, iv *InvVect) error {
+	t, err := readUint32(r)
+	if err != nil {
+		return err
+	}
+	iv.Type = InvType(t)
+	_, err = io.ReadFull(r, iv.Hash[:])
+	return err
+}
+
+// invList is the shared payload shape of INV, GETDATA, and NOTFOUND.
+type invList struct {
+	InvList []InvVect
+}
+
+func (m *invList) encode(w io.Writer) error {
+	if len(m.InvList) > MaxInvPerMsg {
+		return fmt.Errorf("%w: %d inventory vectors (max %d)", ErrTooMany,
+			len(m.InvList), MaxInvPerMsg)
+	}
+	if err := WriteVarInt(w, uint64(len(m.InvList))); err != nil {
+		return err
+	}
+	for i := range m.InvList {
+		if err := writeInvVect(w, &m.InvList[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *invList) decode(r io.Reader) error {
+	count, err := ReadVarInt(r)
+	if err != nil {
+		return err
+	}
+	if count > MaxInvPerMsg {
+		return fmt.Errorf("%w: %d inventory vectors (max %d)", ErrTooMany,
+			count, MaxInvPerMsg)
+	}
+	m.InvList = make([]InvVect, count)
+	for i := range m.InvList {
+		if err := readInvVect(r, &m.InvList[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MsgInv announces object availability (transactions, blocks).
+type MsgInv struct {
+	invList
+}
+
+var _ Message = (*MsgInv)(nil)
+
+// Command implements Message.
+func (m *MsgInv) Command() string { return CmdInv }
+
+// Encode implements Message.
+func (m *MsgInv) Encode(w io.Writer) error { return m.encode(w) }
+
+// Decode implements Message.
+func (m *MsgInv) Decode(r io.Reader) error { return m.decode(r) }
+
+// MsgGetData requests objects previously announced by INV.
+type MsgGetData struct {
+	invList
+}
+
+var _ Message = (*MsgGetData)(nil)
+
+// Command implements Message.
+func (m *MsgGetData) Command() string { return CmdGetData }
+
+// Encode implements Message.
+func (m *MsgGetData) Encode(w io.Writer) error { return m.encode(w) }
+
+// Decode implements Message.
+func (m *MsgGetData) Decode(r io.Reader) error { return m.decode(r) }
+
+// MsgNotFound answers a GETDATA for objects the peer no longer has.
+type MsgNotFound struct {
+	invList
+}
+
+var _ Message = (*MsgNotFound)(nil)
+
+// Command implements Message.
+func (m *MsgNotFound) Command() string { return CmdNotFound }
+
+// Encode implements Message.
+func (m *MsgNotFound) Encode(w io.Writer) error { return m.encode(w) }
+
+// Decode implements Message.
+func (m *MsgNotFound) Decode(r io.Reader) error { return m.decode(r) }
+
+// OutPoint references a specific output of a previous transaction.
+type OutPoint struct {
+	// Hash of the transaction holding the output.
+	Hash chainhash.Hash
+	// Index of the output within that transaction.
+	Index uint32
+}
+
+// TxIn is a transaction input.
+type TxIn struct {
+	// PreviousOutPoint is the output being spent.
+	PreviousOutPoint OutPoint
+	// SignatureScript unlocks the previous output.
+	SignatureScript []byte
+	// Sequence is the input sequence number.
+	Sequence uint32
+}
+
+// TxOut is a transaction output.
+type TxOut struct {
+	// Value in satoshi.
+	Value int64
+	// PkScript locks the output.
+	PkScript []byte
+}
+
+// maxScriptLen bounds script allocation when decoding hostile input.
+const maxScriptLen = 10000
+
+// maxTxInOut bounds per-transaction input/output counts when decoding.
+const maxTxInOut = 100000
+
+// MsgTx is a Bitcoin transaction in the legacy (pre-segwit) serialization,
+// which is sufficient for the relay-delay measurements the paper performs.
+type MsgTx struct {
+	// Version of the transaction format.
+	Version int32
+	// TxIn holds the inputs.
+	TxIn []TxIn
+	// TxOut holds the outputs.
+	TxOut []TxOut
+	// LockTime is the earliest time/height the tx may be mined.
+	LockTime uint32
+}
+
+var _ Message = (*MsgTx)(nil)
+
+// Command implements Message.
+func (m *MsgTx) Command() string { return CmdTx }
+
+// Encode implements Message.
+func (m *MsgTx) Encode(w io.Writer) error {
+	if err := writeUint32(w, uint32(m.Version)); err != nil {
+		return err
+	}
+	if err := WriteVarInt(w, uint64(len(m.TxIn))); err != nil {
+		return err
+	}
+	for i := range m.TxIn {
+		in := &m.TxIn[i]
+		if _, err := w.Write(in.PreviousOutPoint.Hash[:]); err != nil {
+			return err
+		}
+		if err := writeUint32(w, in.PreviousOutPoint.Index); err != nil {
+			return err
+		}
+		if err := writeByteSlice(w, in.SignatureScript); err != nil {
+			return err
+		}
+		if err := writeUint32(w, in.Sequence); err != nil {
+			return err
+		}
+	}
+	if err := WriteVarInt(w, uint64(len(m.TxOut))); err != nil {
+		return err
+	}
+	for i := range m.TxOut {
+		out := &m.TxOut[i]
+		if err := writeUint64(w, uint64(out.Value)); err != nil {
+			return err
+		}
+		if err := writeByteSlice(w, out.PkScript); err != nil {
+			return err
+		}
+	}
+	return writeUint32(w, m.LockTime)
+}
+
+// Decode implements Message.
+func (m *MsgTx) Decode(r io.Reader) error {
+	v, err := readUint32(r)
+	if err != nil {
+		return err
+	}
+	m.Version = int32(v)
+	nIn, err := ReadVarInt(r)
+	if err != nil {
+		return err
+	}
+	if nIn > maxTxInOut {
+		return fmt.Errorf("%w: %d tx inputs", ErrTooMany, nIn)
+	}
+	m.TxIn = make([]TxIn, nIn)
+	for i := range m.TxIn {
+		in := &m.TxIn[i]
+		if _, err := io.ReadFull(r, in.PreviousOutPoint.Hash[:]); err != nil {
+			return err
+		}
+		if in.PreviousOutPoint.Index, err = readUint32(r); err != nil {
+			return err
+		}
+		if in.SignatureScript, err = readByteSlice(r); err != nil {
+			return err
+		}
+		if in.Sequence, err = readUint32(r); err != nil {
+			return err
+		}
+	}
+	nOut, err := ReadVarInt(r)
+	if err != nil {
+		return err
+	}
+	if nOut > maxTxInOut {
+		return fmt.Errorf("%w: %d tx outputs", ErrTooMany, nOut)
+	}
+	m.TxOut = make([]TxOut, nOut)
+	for i := range m.TxOut {
+		out := &m.TxOut[i]
+		val, err := readUint64(r)
+		if err != nil {
+			return err
+		}
+		out.Value = int64(val)
+		if out.PkScript, err = readByteSlice(r); err != nil {
+			return err
+		}
+	}
+	m.LockTime, err = readUint32(r)
+	return err
+}
+
+// TxHash returns the double-SHA256 of the serialized transaction, its
+// canonical identifier.
+func (m *MsgTx) TxHash() chainhash.Hash {
+	var buf bytes.Buffer
+	// Encoding to a buffer cannot fail.
+	_ = m.Encode(&buf)
+	return chainhash.DoubleSHA256(buf.Bytes())
+}
+
+// SerializeSize returns the number of bytes the transaction occupies on
+// the wire.
+func (m *MsgTx) SerializeSize() int {
+	n := 4 + 4 // version + locktime
+	n += VarIntSerializeSize(uint64(len(m.TxIn)))
+	for i := range m.TxIn {
+		n += 32 + 4 + 4 // prevout hash + index + sequence
+		n += VarIntSerializeSize(uint64(len(m.TxIn[i].SignatureScript)))
+		n += len(m.TxIn[i].SignatureScript)
+	}
+	n += VarIntSerializeSize(uint64(len(m.TxOut)))
+	for i := range m.TxOut {
+		n += 8
+		n += VarIntSerializeSize(uint64(len(m.TxOut[i].PkScript)))
+		n += len(m.TxOut[i].PkScript)
+	}
+	return n
+}
+
+func writeByteSlice(w io.Writer, b []byte) error {
+	if err := WriteVarInt(w, uint64(len(b))); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func readByteSlice(r io.Reader) ([]byte, error) {
+	n, err := ReadVarInt(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxScriptLen {
+		return nil, fmt.Errorf("%w: %d-byte script", ErrTooMany, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// BlockHeader is the fixed 80-byte block header.
+type BlockHeader struct {
+	// Version of the block format.
+	Version int32
+	// PrevBlock is the hash of the preceding block header.
+	PrevBlock chainhash.Hash
+	// MerkleRoot commits to the block's transactions.
+	MerkleRoot chainhash.Hash
+	// Timestamp of block creation (seconds precision on the wire).
+	Timestamp uint32
+	// Bits is the compact difficulty target.
+	Bits uint32
+	// Nonce is the proof-of-work nonce.
+	Nonce uint32
+}
+
+// Encode writes the 80-byte header serialization.
+func (h *BlockHeader) Encode(w io.Writer) error {
+	var buf [80]byte
+	putUint32(buf[0:4], uint32(h.Version))
+	copy(buf[4:36], h.PrevBlock[:])
+	copy(buf[36:68], h.MerkleRoot[:])
+	putUint32(buf[68:72], h.Timestamp)
+	putUint32(buf[72:76], h.Bits)
+	putUint32(buf[76:80], h.Nonce)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// Decode reads the 80-byte header serialization.
+func (h *BlockHeader) Decode(r io.Reader) error {
+	var buf [80]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return err
+	}
+	h.Version = int32(getUint32(buf[0:4]))
+	copy(h.PrevBlock[:], buf[4:36])
+	copy(h.MerkleRoot[:], buf[36:68])
+	h.Timestamp = getUint32(buf[68:72])
+	h.Bits = getUint32(buf[72:76])
+	h.Nonce = getUint32(buf[76:80])
+	return nil
+}
+
+// BlockHash returns the double-SHA256 of the serialized header, the
+// block's canonical identifier.
+func (h *BlockHeader) BlockHash() chainhash.Hash {
+	var buf bytes.Buffer
+	_ = h.Encode(&buf)
+	return chainhash.DoubleSHA256(buf.Bytes())
+}
+
+// maxTxPerBlock bounds block decoding allocation.
+const maxTxPerBlock = 1 << 17
+
+// MsgBlock is a full block: header plus transactions.
+type MsgBlock struct {
+	// Header is the block header.
+	Header BlockHeader
+	// Transactions in the block, coinbase first.
+	Transactions []MsgTx
+}
+
+var _ Message = (*MsgBlock)(nil)
+
+// Command implements Message.
+func (m *MsgBlock) Command() string { return CmdBlock }
+
+// Encode implements Message.
+func (m *MsgBlock) Encode(w io.Writer) error {
+	if err := m.Header.Encode(w); err != nil {
+		return err
+	}
+	if err := WriteVarInt(w, uint64(len(m.Transactions))); err != nil {
+		return err
+	}
+	for i := range m.Transactions {
+		if err := m.Transactions[i].Encode(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode implements Message.
+func (m *MsgBlock) Decode(r io.Reader) error {
+	if err := m.Header.Decode(r); err != nil {
+		return err
+	}
+	count, err := ReadVarInt(r)
+	if err != nil {
+		return err
+	}
+	if count > maxTxPerBlock {
+		return fmt.Errorf("%w: %d transactions in block", ErrTooMany, count)
+	}
+	m.Transactions = make([]MsgTx, count)
+	for i := range m.Transactions {
+		if err := m.Transactions[i].Decode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BlockHash returns the block's canonical identifier.
+func (m *MsgBlock) BlockHash() chainhash.Hash { return m.Header.BlockHash() }
+
+// SerializeSize returns the block's on-wire size in bytes.
+func (m *MsgBlock) SerializeSize() int {
+	n := 80 + VarIntSerializeSize(uint64(len(m.Transactions)))
+	for i := range m.Transactions {
+		n += m.Transactions[i].SerializeSize()
+	}
+	return n
+}
+
+// maxHeadersPerMsg is the HEADERS message cap (matches Bitcoin Core).
+const maxHeadersPerMsg = 2000
+
+// MsgHeaders delivers block headers in response to GETHEADERS.
+type MsgHeaders struct {
+	// Headers delivered, each followed on the wire by a zero tx count.
+	Headers []BlockHeader
+}
+
+var _ Message = (*MsgHeaders)(nil)
+
+// Command implements Message.
+func (m *MsgHeaders) Command() string { return CmdHeaders }
+
+// Encode implements Message.
+func (m *MsgHeaders) Encode(w io.Writer) error {
+	if len(m.Headers) > maxHeadersPerMsg {
+		return fmt.Errorf("%w: %d headers (max %d)", ErrTooMany,
+			len(m.Headers), maxHeadersPerMsg)
+	}
+	if err := WriteVarInt(w, uint64(len(m.Headers))); err != nil {
+		return err
+	}
+	for i := range m.Headers {
+		if err := m.Headers[i].Encode(w); err != nil {
+			return err
+		}
+		// Headers on the wire carry a trailing varint tx count of zero.
+		if err := WriteVarInt(w, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode implements Message.
+func (m *MsgHeaders) Decode(r io.Reader) error {
+	count, err := ReadVarInt(r)
+	if err != nil {
+		return err
+	}
+	if count > maxHeadersPerMsg {
+		return fmt.Errorf("%w: %d headers (max %d)", ErrTooMany,
+			count, maxHeadersPerMsg)
+	}
+	m.Headers = make([]BlockHeader, count)
+	for i := range m.Headers {
+		if err := m.Headers[i].Decode(r); err != nil {
+			return err
+		}
+		txCount, err := ReadVarInt(r)
+		if err != nil {
+			return err
+		}
+		if txCount != 0 {
+			return fmt.Errorf("wire: headers message with %d transactions", txCount)
+		}
+	}
+	return nil
+}
+
+// maxLocatorHashes caps the block locator length.
+const maxLocatorHashes = 101
+
+// MsgGetHeaders requests headers after the most recent known block in a
+// locator.
+type MsgGetHeaders struct {
+	// ProtocolVersion of the requester.
+	ProtocolVersion uint32
+	// BlockLocatorHashes walk back from the tip at exponentially growing
+	// gaps, letting the peer find the fork point.
+	BlockLocatorHashes []chainhash.Hash
+	// HashStop ends the returned range (zero for as-many-as-possible).
+	HashStop chainhash.Hash
+}
+
+var _ Message = (*MsgGetHeaders)(nil)
+
+// Command implements Message.
+func (m *MsgGetHeaders) Command() string { return CmdGetHeaders }
+
+// Encode implements Message.
+func (m *MsgGetHeaders) Encode(w io.Writer) error {
+	if len(m.BlockLocatorHashes) > maxLocatorHashes {
+		return fmt.Errorf("%w: %d locator hashes (max %d)", ErrTooMany,
+			len(m.BlockLocatorHashes), maxLocatorHashes)
+	}
+	if err := writeUint32(w, m.ProtocolVersion); err != nil {
+		return err
+	}
+	if err := WriteVarInt(w, uint64(len(m.BlockLocatorHashes))); err != nil {
+		return err
+	}
+	for i := range m.BlockLocatorHashes {
+		if _, err := w.Write(m.BlockLocatorHashes[i][:]); err != nil {
+			return err
+		}
+	}
+	_, err := w.Write(m.HashStop[:])
+	return err
+}
+
+// Decode implements Message.
+func (m *MsgGetHeaders) Decode(r io.Reader) error {
+	var err error
+	if m.ProtocolVersion, err = readUint32(r); err != nil {
+		return err
+	}
+	count, err := ReadVarInt(r)
+	if err != nil {
+		return err
+	}
+	if count > maxLocatorHashes {
+		return fmt.Errorf("%w: %d locator hashes (max %d)", ErrTooMany,
+			count, maxLocatorHashes)
+	}
+	m.BlockLocatorHashes = make([]chainhash.Hash, count)
+	for i := range m.BlockLocatorHashes {
+		if _, err := io.ReadFull(r, m.BlockLocatorHashes[i][:]); err != nil {
+			return err
+		}
+	}
+	_, err = io.ReadFull(r, m.HashStop[:])
+	return err
+}

@@ -1,0 +1,211 @@
+package wire
+
+import (
+	"io"
+	"time"
+)
+
+// MsgVersion is the first message a peer sends when a connection is
+// established; the paper's scanner (Algorithm 2) probes unreachable nodes
+// with exactly this "VER" message and classifies them as responsive by the
+// way they close the connection.
+type MsgVersion struct {
+	// ProtocolVersion the sender speaks.
+	ProtocolVersion uint32
+	// Services advertised by the sender.
+	Services ServiceFlag
+	// Timestamp at the sender (seconds precision on the wire).
+	Timestamp time.Time
+	// AddrYou is the receiver's address as seen by the sender.
+	AddrYou NetAddress
+	// AddrMe is the sender's own address.
+	AddrMe NetAddress
+	// Nonce detects self-connections.
+	Nonce uint64
+	// UserAgent identifies the software.
+	UserAgent string
+	// StartHeight is the sender's chain tip height.
+	StartHeight int32
+	// Relay requests transaction relay (BIP-37).
+	Relay bool
+}
+
+var _ Message = (*MsgVersion)(nil)
+
+// Command implements Message.
+func (m *MsgVersion) Command() string { return CmdVersion }
+
+// Encode implements Message.
+func (m *MsgVersion) Encode(w io.Writer) error {
+	if err := writeUint32(w, m.ProtocolVersion); err != nil {
+		return err
+	}
+	if err := writeUint64(w, uint64(m.Services)); err != nil {
+		return err
+	}
+	if err := writeUint64(w, uint64(m.Timestamp.Unix())); err != nil {
+		return err
+	}
+	if err := writeNetAddress(w, &m.AddrYou, false); err != nil {
+		return err
+	}
+	if err := writeNetAddress(w, &m.AddrMe, false); err != nil {
+		return err
+	}
+	if err := writeUint64(w, m.Nonce); err != nil {
+		return err
+	}
+	if err := WriteVarString(w, m.UserAgent); err != nil {
+		return err
+	}
+	if err := writeUint32(w, uint32(m.StartHeight)); err != nil {
+		return err
+	}
+	relay := uint8(0)
+	if m.Relay {
+		relay = 1
+	}
+	return writeUint8(w, relay)
+}
+
+// Decode implements Message.
+func (m *MsgVersion) Decode(r io.Reader) error {
+	var err error
+	if m.ProtocolVersion, err = readUint32(r); err != nil {
+		return err
+	}
+	svc, err := readUint64(r)
+	if err != nil {
+		return err
+	}
+	m.Services = ServiceFlag(svc)
+	ts, err := readUint64(r)
+	if err != nil {
+		return err
+	}
+	m.Timestamp = time.Unix(int64(ts), 0).UTC()
+	if err := readNetAddress(r, &m.AddrYou, false); err != nil {
+		return err
+	}
+	if err := readNetAddress(r, &m.AddrMe, false); err != nil {
+		return err
+	}
+	if m.Nonce, err = readUint64(r); err != nil {
+		return err
+	}
+	if m.UserAgent, err = ReadVarString(r); err != nil {
+		return err
+	}
+	h, err := readUint32(r)
+	if err != nil {
+		return err
+	}
+	m.StartHeight = int32(h)
+	relay, err := readUint8(r)
+	if err != nil {
+		// The relay flag is optional for old protocol versions; absence
+		// means relay.
+		if err == io.EOF {
+			m.Relay = true
+			return nil
+		}
+		return err
+	}
+	m.Relay = relay != 0
+	return nil
+}
+
+// MsgVerAck acknowledges a VERSION message and completes the handshake.
+type MsgVerAck struct{}
+
+var _ Message = (*MsgVerAck)(nil)
+
+// Command implements Message.
+func (m *MsgVerAck) Command() string { return CmdVerAck }
+
+// Encode implements Message.
+func (m *MsgVerAck) Encode(io.Writer) error { return nil }
+
+// Decode implements Message.
+func (m *MsgVerAck) Decode(io.Reader) error { return nil }
+
+// MsgPing is a keepalive probe carrying a nonce the peer echoes in PONG.
+type MsgPing struct {
+	// Nonce correlates the eventual PONG.
+	Nonce uint64
+}
+
+var _ Message = (*MsgPing)(nil)
+
+// Command implements Message.
+func (m *MsgPing) Command() string { return CmdPing }
+
+// Encode implements Message.
+func (m *MsgPing) Encode(w io.Writer) error { return writeUint64(w, m.Nonce) }
+
+// Decode implements Message.
+func (m *MsgPing) Decode(r io.Reader) error {
+	var err error
+	m.Nonce, err = readUint64(r)
+	return err
+}
+
+// MsgPong answers a PING, echoing its nonce.
+type MsgPong struct {
+	// Nonce from the PING being answered.
+	Nonce uint64
+}
+
+var _ Message = (*MsgPong)(nil)
+
+// Command implements Message.
+func (m *MsgPong) Command() string { return CmdPong }
+
+// Encode implements Message.
+func (m *MsgPong) Encode(w io.Writer) error { return writeUint64(w, m.Nonce) }
+
+// Decode implements Message.
+func (m *MsgPong) Decode(r io.Reader) error {
+	var err error
+	m.Nonce, err = readUint64(r)
+	return err
+}
+
+// MsgReject reports a rejected message back to its sender.
+type MsgReject struct {
+	// Cmd is the command of the rejected message.
+	Cmd string
+	// Code is the machine-readable rejection code.
+	Code uint8
+	// Reason is the human-readable rejection reason.
+	Reason string
+}
+
+var _ Message = (*MsgReject)(nil)
+
+// Command implements Message.
+func (m *MsgReject) Command() string { return CmdReject }
+
+// Encode implements Message.
+func (m *MsgReject) Encode(w io.Writer) error {
+	if err := WriteVarString(w, m.Cmd); err != nil {
+		return err
+	}
+	if err := writeUint8(w, m.Code); err != nil {
+		return err
+	}
+	return WriteVarString(w, m.Reason)
+}
+
+// Decode implements Message.
+func (m *MsgReject) Decode(r io.Reader) error {
+	var err error
+	if m.Cmd, err = ReadVarString(r); err != nil {
+		return err
+	}
+	if m.Code, err = readUint8(r); err != nil {
+		return err
+	}
+	m.Reason, err = ReadVarString(r)
+	return err
+}

@@ -1,0 +1,304 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+)
+
+// Little-endian helpers over fixed buffers. These avoid the interface
+// allocations of binary.Read/Write on the hot encode/decode paths.
+
+func putUint16(b []byte, v uint16) { binary.LittleEndian.PutUint16(b, v) }
+func putUint32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+func putUint64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+func getUint16(b []byte) uint16    { return binary.LittleEndian.Uint16(b) }
+func getUint32(b []byte) uint32    { return binary.LittleEndian.Uint32(b) }
+func getUint64(b []byte) uint64    { return binary.LittleEndian.Uint64(b) }
+
+func writeUint8(w io.Writer, v uint8) error {
+	_, err := w.Write([]byte{v})
+	return err
+}
+
+func readUint8(r io.Reader) (uint8, error) {
+	var b [1]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func writeUint16(w io.Writer, v uint16) error {
+	var b [2]byte
+	putUint16(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readUint16(r io.Reader) (uint16, error) {
+	var b [2]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return getUint16(b[:]), nil
+}
+
+func writeUint32(w io.Writer, v uint32) error {
+	var b [4]byte
+	putUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readUint32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return getUint32(b[:]), nil
+}
+
+func writeUint64(w io.Writer, v uint64) error {
+	var b [8]byte
+	putUint64(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readUint64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return getUint64(b[:]), nil
+}
+
+// WriteVarInt writes a Bitcoin variable-length integer: values below 0xfd
+// encode as one byte; larger values use a 0xfd/0xfe/0xff discriminator
+// followed by 2/4/8 little-endian bytes.
+func WriteVarInt(w io.Writer, v uint64) error {
+	switch {
+	case v < 0xfd:
+		return writeUint8(w, uint8(v))
+	case v <= 0xffff:
+		if err := writeUint8(w, 0xfd); err != nil {
+			return err
+		}
+		return writeUint16(w, uint16(v))
+	case v <= 0xffffffff:
+		if err := writeUint8(w, 0xfe); err != nil {
+			return err
+		}
+		return writeUint32(w, uint32(v))
+	default:
+		if err := writeUint8(w, 0xff); err != nil {
+			return err
+		}
+		return writeUint64(w, v)
+	}
+}
+
+// ReadVarInt reads a Bitcoin variable-length integer. Non-canonical
+// encodings (a wider form used for a value that fits a narrower one) are
+// rejected, matching Bitcoin Core's strict mode.
+func ReadVarInt(r io.Reader) (uint64, error) {
+	disc, err := readUint8(r)
+	if err != nil {
+		return 0, err
+	}
+	switch disc {
+	case 0xfd:
+		v, err := readUint16(r)
+		if err != nil {
+			return 0, err
+		}
+		if v < 0xfd {
+			return 0, fmt.Errorf("wire: non-canonical varint %d as uint16", v)
+		}
+		return uint64(v), nil
+	case 0xfe:
+		v, err := readUint32(r)
+		if err != nil {
+			return 0, err
+		}
+		if v <= 0xffff {
+			return 0, fmt.Errorf("wire: non-canonical varint %d as uint32", v)
+		}
+		return uint64(v), nil
+	case 0xff:
+		v, err := readUint64(r)
+		if err != nil {
+			return 0, err
+		}
+		if v <= 0xffffffff {
+			return 0, fmt.Errorf("wire: non-canonical varint %d as uint64", v)
+		}
+		return v, nil
+	default:
+		return uint64(disc), nil
+	}
+}
+
+// VarIntSerializeSize returns the encoded size of v in bytes.
+func VarIntSerializeSize(v uint64) int {
+	switch {
+	case v < 0xfd:
+		return 1
+	case v <= 0xffff:
+		return 3
+	case v <= 0xffffffff:
+		return 5
+	default:
+		return 9
+	}
+}
+
+// maxVarStringLen caps variable strings well below the payload limit; the
+// longest legitimate string on the wire is a user agent.
+const maxVarStringLen = 16 * 1024
+
+// WriteVarString writes a length-prefixed string.
+func WriteVarString(w io.Writer, s string) error {
+	if err := WriteVarInt(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+// ReadVarString reads a length-prefixed string, rejecting lengths above
+// maxVarStringLen to bound allocation from hostile peers.
+func ReadVarString(r io.Reader) (string, error) {
+	n, err := ReadVarInt(r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxVarStringLen {
+		return "", fmt.Errorf("wire: var string of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// ServiceFlag identifies the services a node advertises in VERSION and
+// ADDR messages.
+type ServiceFlag uint64
+
+// Service flags (subset relevant to the paper).
+const (
+	// SFNodeNetwork indicates a full node serving the whole chain.
+	SFNodeNetwork ServiceFlag = 1 << 0
+	// SFNodeWitness indicates segregated-witness support.
+	SFNodeWitness ServiceFlag = 1 << 3
+	// SFNodeNetworkLimited indicates a pruned node serving recent blocks.
+	SFNodeNetworkLimited ServiceFlag = 1 << 10
+)
+
+// NetAddress is a network address as carried in ADDR messages: a last-seen
+// timestamp, advertised services, a 16-byte IP (IPv4 mapped into IPv6),
+// and a big-endian port.
+type NetAddress struct {
+	// Timestamp is the last-seen time the advertising peer claims. Not
+	// present in the VERSION message encoding.
+	Timestamp time.Time
+	// Services advertised for the address.
+	Services ServiceFlag
+	// Addr is the IP address and port.
+	Addr netip.AddrPort
+}
+
+// NewNetAddress builds a NetAddress from an AddrPort with the given
+// services and timestamp.
+func NewNetAddress(ap netip.AddrPort, services ServiceFlag, ts time.Time) NetAddress {
+	return NetAddress{Timestamp: ts, Services: services, Addr: ap}
+}
+
+// writeNetAddress encodes na; the timestamp is included iff withTS.
+func writeNetAddress(w io.Writer, na *NetAddress, withTS bool) error {
+	if withTS {
+		if err := writeUint32(w, uint32(na.Timestamp.Unix())); err != nil {
+			return err
+		}
+	}
+	if err := writeUint64(w, uint64(na.Services)); err != nil {
+		return err
+	}
+	ip := na.Addr.Addr().As16()
+	if _, err := w.Write(ip[:]); err != nil {
+		return err
+	}
+	// Port is big-endian on the wire, unlike everything else.
+	port := na.Addr.Port()
+	if _, err := w.Write([]byte{byte(port >> 8), byte(port)}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// readNetAddress decodes into na; the timestamp is expected iff withTS.
+func readNetAddress(r io.Reader, na *NetAddress, withTS bool) error {
+	if withTS {
+		ts, err := readUint32(r)
+		if err != nil {
+			return err
+		}
+		na.Timestamp = time.Unix(int64(ts), 0).UTC()
+	}
+	svc, err := readUint64(r)
+	if err != nil {
+		return err
+	}
+	na.Services = ServiceFlag(svc)
+	var ip [16]byte
+	if _, err := io.ReadFull(r, ip[:]); err != nil {
+		return err
+	}
+	var portBuf [2]byte
+	if _, err := io.ReadFull(r, portBuf[:]); err != nil {
+		return err
+	}
+	port := uint16(portBuf[0])<<8 | uint16(portBuf[1])
+	addr := netip.AddrFrom16(ip)
+	if addr.Is4In6() {
+		addr = addr.Unmap()
+	}
+	na.Addr = netip.AddrPortFrom(addr, port)
+	return nil
+}
+
+// InvType identifies the kind of object an inventory vector refers to.
+type InvType uint32
+
+// Inventory vector types.
+const (
+	// InvTypeError is the error/ignore type.
+	InvTypeError InvType = 0
+	// InvTypeTx refers to a transaction.
+	InvTypeTx InvType = 1
+	// InvTypeBlock refers to a full block.
+	InvTypeBlock InvType = 2
+	// InvTypeCmpctBlock refers to a compact block (BIP-152).
+	InvTypeCmpctBlock InvType = 4
+)
+
+// String returns a human-readable inventory type name.
+func (t InvType) String() string {
+	switch t {
+	case InvTypeError:
+		return "ERROR"
+	case InvTypeTx:
+		return "MSG_TX"
+	case InvTypeBlock:
+		return "MSG_BLOCK"
+	case InvTypeCmpctBlock:
+		return "MSG_CMPCT_BLOCK"
+	default:
+		return fmt.Sprintf("InvType(%d)", uint32(t))
+	}
+}

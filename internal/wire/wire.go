@@ -1,0 +1,274 @@
+// Package wire implements the Bitcoin P2P wire protocol: message framing
+// with the 24-byte header (network magic, command, payload length,
+// double-SHA256 checksum), the variable-length integer and string
+// primitives, network addresses with timestamps, and the protocol messages
+// the paper's measurement apparatus depends on (VERSION/VERACK handshake,
+// ADDR/GETADDR address gossip, INV/GETDATA/TX/BLOCK data relay, the
+// BIP-152 compact-block family, and PING/PONG keepalives).
+//
+// Encoding follows the Bitcoin protocol documentation; integers are
+// little-endian unless noted. Every message round-trips through
+// Encode/Decode, and ReadMessage/WriteMessage frame messages over any
+// io.Reader/io.Writer, which lets the same implementation serve both the
+// real-TCP transport and in-memory tests.
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/chainhash"
+)
+
+// BitcoinNet identifies which Bitcoin network a message belongs to via the
+// 4-byte magic prefix of the message header.
+type BitcoinNet uint32
+
+// Network magic values.
+const (
+	// MainNet is the main Bitcoin network magic.
+	MainNet BitcoinNet = 0xd9b4bef9
+	// TestNet3 is the test network (version 3) magic.
+	TestNet3 BitcoinNet = 0x0709110b
+	// SimNet is the magic used by this repository's simulated networks so
+	// stray mainnet traffic can never be confused with test traffic.
+	SimNet BitcoinNet = 0x12141c16
+)
+
+// String returns a human-readable network name.
+func (n BitcoinNet) String() string {
+	switch n {
+	case MainNet:
+		return "mainnet"
+	case TestNet3:
+		return "testnet3"
+	case SimNet:
+		return "simnet"
+	default:
+		return fmt.Sprintf("BitcoinNet(%#x)", uint32(n))
+	}
+}
+
+// Protocol constants.
+const (
+	// ProtocolVersion is the protocol version this implementation speaks,
+	// matching Bitcoin Core v0.20.1 as analyzed by the paper.
+	ProtocolVersion uint32 = 70015
+
+	// MaxMessagePayload is the largest permitted payload (4 MB, matching
+	// Bitcoin Core's MAX_PROTOCOL_MESSAGE_LENGTH).
+	MaxMessagePayload = 4 * 1024 * 1024
+
+	// CommandSize is the fixed size of the command field in the header.
+	CommandSize = 12
+
+	// headerSize is magic(4) + command(12) + length(4) + checksum(4).
+	headerSize = 24
+
+	// MaxAddrPerMsg is the maximum number of addresses in one ADDR
+	// message, the 1000-address cap the paper's crawler exploits.
+	MaxAddrPerMsg = 1000
+
+	// MaxInvPerMsg is the maximum number of inventory vectors per INV.
+	MaxInvPerMsg = 50000
+
+	// DefaultPort is the well-known Bitcoin port; the paper reports 95.78%
+	// of reachable nodes using it.
+	DefaultPort = 8333
+)
+
+// Message command strings.
+const (
+	CmdVersion     = "version"
+	CmdVerAck      = "verack"
+	CmdAddr        = "addr"
+	CmdGetAddr     = "getaddr"
+	CmdInv         = "inv"
+	CmdGetData     = "getdata"
+	CmdTx          = "tx"
+	CmdBlock       = "block"
+	CmdHeaders     = "headers"
+	CmdGetHeaders  = "getheaders"
+	CmdPing        = "ping"
+	CmdPong        = "pong"
+	CmdSendCmpct   = "sendcmpct"
+	CmdCmpctBlock  = "cmpctblock"
+	CmdGetBlockTxn = "getblocktxn"
+	CmdBlockTxn    = "blocktxn"
+	CmdReject      = "reject"
+	CmdNotFound    = "notfound"
+)
+
+// Message is the interface implemented by every wire protocol message.
+type Message interface {
+	// Command returns the protocol command string for the message.
+	Command() string
+	// Encode writes the message payload to w.
+	Encode(w io.Writer) error
+	// Decode reads the message payload from r.
+	Decode(r io.Reader) error
+}
+
+// Error sentinels for framing failures; use errors.Is to test.
+var (
+	// ErrBadMagic indicates a header with an unexpected network magic.
+	ErrBadMagic = errors.New("wire: bad network magic")
+	// ErrBadChecksum indicates a payload whose checksum does not match
+	// the header.
+	ErrBadChecksum = errors.New("wire: bad payload checksum")
+	// ErrPayloadTooLarge indicates a header declaring a payload beyond
+	// MaxMessagePayload.
+	ErrPayloadTooLarge = errors.New("wire: payload exceeds maximum")
+	// ErrUnknownCommand indicates an unrecognized command string.
+	ErrUnknownCommand = errors.New("wire: unknown command")
+	// ErrTooMany indicates a count field exceeding a per-message limit.
+	ErrTooMany = errors.New("wire: count exceeds message limit")
+)
+
+// makeEmptyMessage returns a zero message value for a command string.
+func makeEmptyMessage(command string) (Message, error) {
+	switch command {
+	case CmdVersion:
+		return &MsgVersion{}, nil
+	case CmdVerAck:
+		return &MsgVerAck{}, nil
+	case CmdAddr:
+		return &MsgAddr{}, nil
+	case CmdGetAddr:
+		return &MsgGetAddr{}, nil
+	case CmdInv:
+		return &MsgInv{}, nil
+	case CmdGetData:
+		return &MsgGetData{}, nil
+	case CmdNotFound:
+		return &MsgNotFound{}, nil
+	case CmdTx:
+		return &MsgTx{}, nil
+	case CmdBlock:
+		return &MsgBlock{}, nil
+	case CmdHeaders:
+		return &MsgHeaders{}, nil
+	case CmdGetHeaders:
+		return &MsgGetHeaders{}, nil
+	case CmdPing:
+		return &MsgPing{}, nil
+	case CmdPong:
+		return &MsgPong{}, nil
+	case CmdSendCmpct:
+		return &MsgSendCmpct{}, nil
+	case CmdCmpctBlock:
+		return &MsgCmpctBlock{}, nil
+	case CmdGetBlockTxn:
+		return &MsgGetBlockTxn{}, nil
+	case CmdBlockTxn:
+		return &MsgBlockTxn{}, nil
+	case CmdReject:
+		return &MsgReject{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownCommand, command)
+	}
+}
+
+// messageHeader is the fixed 24-byte frame preceding every payload.
+type messageHeader struct {
+	magic    BitcoinNet
+	command  string
+	length   uint32
+	checksum [4]byte
+}
+
+func writeMessageHeader(w io.Writer, h *messageHeader) error {
+	var buf [headerSize]byte
+	putUint32(buf[0:4], uint32(h.magic))
+	copy(buf[4:4+CommandSize], h.command) // zero-padded by array init
+	putUint32(buf[16:20], h.length)
+	copy(buf[20:24], h.checksum[:])
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readMessageHeader(r io.Reader) (*messageHeader, error) {
+	var buf [headerSize]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return nil, err
+	}
+	h := &messageHeader{
+		magic:  BitcoinNet(getUint32(buf[0:4])),
+		length: getUint32(buf[16:20]),
+	}
+	// Command is NUL-padded to 12 bytes.
+	cmd := buf[4 : 4+CommandSize]
+	if i := bytes.IndexByte(cmd, 0); i >= 0 {
+		cmd = cmd[:i]
+	}
+	h.command = string(cmd)
+	copy(h.checksum[:], buf[20:24])
+	return h, nil
+}
+
+// WriteMessage frames msg with a header for network net and writes it to w.
+// It returns the total number of bytes written.
+func WriteMessage(w io.Writer, msg Message, net BitcoinNet) (int, error) {
+	var payload bytes.Buffer
+	if err := msg.Encode(&payload); err != nil {
+		return 0, fmt.Errorf("wire: encode %s: %w", msg.Command(), err)
+	}
+	if payload.Len() > MaxMessagePayload {
+		return 0, fmt.Errorf("%w: %s payload is %d bytes", ErrPayloadTooLarge,
+			msg.Command(), payload.Len())
+	}
+	if len(msg.Command()) > CommandSize {
+		return 0, fmt.Errorf("wire: command %q exceeds %d bytes",
+			msg.Command(), CommandSize)
+	}
+	hdr := &messageHeader{
+		magic:    net,
+		command:  msg.Command(),
+		length:   uint32(payload.Len()),
+		checksum: chainhash.Checksum(payload.Bytes()),
+	}
+	if err := writeMessageHeader(w, hdr); err != nil {
+		return 0, fmt.Errorf("wire: write header: %w", err)
+	}
+	n, err := w.Write(payload.Bytes())
+	if err != nil {
+		return headerSize + n, fmt.Errorf("wire: write payload: %w", err)
+	}
+	return headerSize + n, nil
+}
+
+// ReadMessage reads one framed message for network net from r. It verifies
+// the magic and checksum and decodes the payload into the appropriate
+// message type. Unknown commands return ErrUnknownCommand (wrapped), with
+// the payload consumed, so callers may skip them and continue.
+func ReadMessage(r io.Reader, net BitcoinNet) (Message, error) {
+	hdr, err := readMessageHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.magic != net {
+		return nil, fmt.Errorf("%w: got %#x, want %#x", ErrBadMagic,
+			uint32(hdr.magic), uint32(net))
+	}
+	if hdr.length > MaxMessagePayload {
+		return nil, fmt.Errorf("%w: header declares %d bytes",
+			ErrPayloadTooLarge, hdr.length)
+	}
+	payload := make([]byte, hdr.length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: read %s payload: %w", hdr.command, err)
+	}
+	if sum := chainhash.Checksum(payload); sum != hdr.checksum {
+		return nil, fmt.Errorf("%w: %s payload", ErrBadChecksum, hdr.command)
+	}
+	msg, err := makeEmptyMessage(hdr.command)
+	if err != nil {
+		return nil, err
+	}
+	if err := msg.Decode(bytes.NewReader(payload)); err != nil {
+		return nil, fmt.Errorf("wire: decode %s: %w", hdr.command, err)
+	}
+	return msg, nil
+}
