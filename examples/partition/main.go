@@ -1,16 +1,31 @@
-// Partition-attack study (§IV-A1): how many autonomous systems must an
-// adversary hijack to isolate half the Bitcoin network, and how does the
-// answer change once unreachable and responsive nodes are counted?
+// Partition study, in two acts.
+//
+// Act 1 (§IV-A1): how many autonomous systems must an adversary hijack
+// to isolate half the Bitcoin network, and how does the answer change
+// once unreachable and responsive nodes are counted?
+//
+// Act 2 (robustness extension): an actual partition, executed. A small
+// mesh of full nodes is split with the fault-injection layer while one
+// side keeps mining; the two sides diverge, the partition heals, and the
+// node-side recovery machinery (keepalive, stall eviction, header
+// resync) pulls every node back to the common tip.
 //
 //	go run ./examples/partition
 package main
 
 import (
 	"fmt"
+	"net/netip"
 	"os"
+	"time"
 
 	"repro/internal/asmap"
+	"repro/internal/chain"
+	"repro/internal/faults"
 	"repro/internal/netgen"
+	"repro/internal/node"
+	"repro/internal/simnet"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -21,6 +36,15 @@ func main() {
 }
 
 func run() error {
+	if err := hijackBudget(); err != nil {
+		return err
+	}
+	fmt.Println()
+	return livePartition()
+}
+
+// hijackBudget is the §IV-A1 AS-level study.
+func hijackBudget() error {
 	// Generate the synthetic universe at 30% of the paper's scale.
 	u, err := netgen.Generate(netgen.DefaultParams(7, 0.30))
 	if err != nil {
@@ -76,6 +100,101 @@ func run() error {
 		for i, s := range c.census.TopN(5) {
 			fmt.Printf("    %d. AS%-6d %6d nodes (%.2f%%)\n", i+1, s.ASN, s.Count, s.Pct)
 		}
+	}
+	return nil
+}
+
+// livePartition executes a partition against a running mesh and shows
+// the divergence and the recovery.
+func livePartition() error {
+	const (
+		numNodes  = 8
+		majority  = 5 // nodes 0..4 stay with the miner
+		warmup    = 3 * time.Minute
+		severed   = 6 * time.Minute
+		recovery  = 12 * time.Minute
+		blockTick = time.Minute
+	)
+
+	genesis := chain.GenesisBlock("partition-example")
+	net := simnet.New(simnet.Config{Seed: 7})
+	inj := faults.New(net, faults.Config{Seed: 7})
+	sched := net.Scheduler()
+
+	addrs := make([]netip.AddrPort, numNodes)
+	for i := range addrs {
+		addrs[i] = netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 9, 0, byte(i + 1)}), 8333)
+	}
+	for _, self := range addrs {
+		var seeds []wire.NetAddress
+		for _, a := range addrs {
+			if a != self {
+				seeds = append(seeds, wire.NetAddress{
+					Addr: a, Services: wire.SFNodeNetwork, Timestamp: net.Now(),
+				})
+			}
+		}
+		net.AddFullNode(node.Config{
+			Self:      wire.NetAddress{Addr: self, Services: wire.SFNodeNetwork},
+			Reachable: true,
+			Genesis:   genesis,
+			SeedAddrs: seeds,
+		}).Start()
+	}
+	miner := addrs[0]
+
+	mining := true
+	var mine func()
+	mine = func() {
+		if !mining {
+			return
+		}
+		if h := net.Host(miner); h.Online() && h.Node() != nil {
+			_, _ = h.Node().MineBlock(0)
+		}
+		sched.After(blockTick, mine)
+	}
+	sched.After(blockTick, mine)
+
+	heights := func() []int32 {
+		out := make([]int32, len(addrs))
+		for i, a := range addrs {
+			_, out[i] = net.Host(a).Node().Chain().Tip()
+		}
+		return out
+	}
+
+	fmt.Println("live partition drill: 8-node mesh, miner on the majority side")
+	sched.RunFor(warmup)
+	fmt.Printf("  t=%-4s heights %v  (mesh warmed up)\n", "3m", heights())
+
+	inj.Partition(addrs[:majority], addrs[majority:])
+	sched.RunFor(severed)
+	fmt.Printf("  t=%-4s heights %v  (partitioned: minority side starved)\n", "9m", heights())
+
+	inj.Heal()
+	sched.RunFor(recovery)
+	mining = false
+	sched.RunFor(2 * time.Minute)
+
+	hs := heights()
+	converged := true
+	for _, h := range hs {
+		if h != hs[0] {
+			converged = false
+		}
+	}
+	synced := 0
+	for _, a := range addrs {
+		if net.Host(a).Node().IsSynced() {
+			synced++
+		}
+	}
+	fmt.Printf("  t=%-4s heights %v  (healed)\n", "23m", hs)
+	fmt.Printf("  converged: %v, %d/%d nodes IsSynced\n", converged, synced, len(addrs))
+	fmt.Printf("  fault counters: %s\n", inj.CountersString())
+	if !converged {
+		return fmt.Errorf("mesh failed to re-converge after heal (heights %v)", hs)
 	}
 	return nil
 }

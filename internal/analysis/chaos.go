@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/node"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// This file implements the chaos experiment: a mesh of full nodes
+// subjected to the fault layer's message loss, latency spikes,
+// duplication, a partition with heal, and a crash/restart wave. The
+// measured question is the robustness counterpart of §IV-D: given the
+// adversities the paper identifies, do the node-side defences (keepalive,
+// stall eviction, reconnect backoff) bring every survivor back to the
+// tip, and how long does recovery take once conditions clear?
+
+// ChaosConfig parameterizes the chaos scenario.
+type ChaosConfig struct {
+	// Seed drives all randomness (network, nodes, and fault schedule).
+	Seed int64
+	// NumNodes is the full-node population (default 12).
+	NumNodes int
+	// Duration is the total scenario length (default 40 min).
+	Duration time.Duration
+	// BlockInterval is the mining cadence at node 0 (default 1 min).
+	// Mining stops 5 minutes before the end so the final measurement is
+	// not racing an in-flight block.
+	BlockInterval time.Duration
+	// Drop, Spike, and Duplicate are the link fault probabilities applied
+	// from the start until FaultsOffAt (defaults 5%, 5%, 2%).
+	Drop, Spike, Duplicate float64
+	// PartitionAt/PartitionFor script the partition window (defaults:
+	// minute 5, for 5 minutes). PartitionShare is the fraction of nodes
+	// isolated from the miner's side (default 0.4).
+	PartitionAt    time.Duration
+	PartitionFor   time.Duration
+	PartitionShare float64
+	// CrashAt/CrashFor/CrashCount script the crash wave (defaults:
+	// minute 12, 3 minutes down, NumNodes/5 nodes, 30 s stagger).
+	CrashAt    time.Duration
+	CrashFor   time.Duration
+	CrashCount int
+	// FaultsOffAt disables the probabilistic faults so the scenario tail
+	// converges under clean conditions (default Duration − 15 min).
+	FaultsOffAt time.Duration
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.NumNodes == 0 {
+		c.NumNodes = 12
+	}
+	if c.Duration == 0 {
+		c.Duration = 40 * time.Minute
+	}
+	if c.BlockInterval == 0 {
+		c.BlockInterval = time.Minute
+	}
+	if c.Drop == 0 {
+		c.Drop = 0.05
+	}
+	if c.Spike == 0 {
+		c.Spike = 0.05
+	}
+	if c.Duplicate == 0 {
+		c.Duplicate = 0.02
+	}
+	if c.PartitionAt == 0 {
+		c.PartitionAt = 5 * time.Minute
+	}
+	if c.PartitionFor == 0 {
+		c.PartitionFor = 5 * time.Minute
+	}
+	if c.PartitionShare == 0 {
+		c.PartitionShare = 0.4
+	}
+	if c.CrashAt == 0 {
+		c.CrashAt = 12 * time.Minute
+	}
+	if c.CrashFor == 0 {
+		c.CrashFor = 3 * time.Minute
+	}
+	if c.CrashCount == 0 {
+		c.CrashCount = c.NumNodes / 5
+		if c.CrashCount < 1 {
+			c.CrashCount = 1
+		}
+	}
+	if c.FaultsOffAt == 0 {
+		c.FaultsOffAt = c.Duration - 15*time.Minute
+		if c.FaultsOffAt < c.CrashAt+c.CrashFor {
+			c.FaultsOffAt = c.CrashAt + c.CrashFor
+		}
+	}
+	return c
+}
+
+// ChaosResult reports the scenario outcome.
+type ChaosResult struct {
+	// Converged reports whether every node finished synced at the miner's
+	// tip.
+	Converged bool
+	// SyncedNodes of TotalNodes were at the tip with IsSynced at the end.
+	SyncedNodes, TotalNodes int
+	// MinerHeight is the final chain height at the mining node.
+	MinerHeight int32
+	// HeightSpread is max−min final height across nodes (0 when
+	// converged).
+	HeightSpread int32
+	// RecoveryTime is how long after the last scripted disruption every
+	// node was back at the tip (0 when that never happened).
+	RecoveryTime time.Duration
+	// FaultCounters is the injector's sorted counter snapshot.
+	FaultCounters []stats.Counter
+	// Health aggregates every node's robustness counters.
+	Health node.HealthStats
+	// PersistentShare is the fraction of crash-tracked nodes present in
+	// every presence-matrix sample (the Figure 12 observable under
+	// scripted churn; < 1 whenever the crash wave ran).
+	PersistentShare float64
+}
+
+// RunChaos executes the chaos scenario.
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumNodes < 4 {
+		return nil, fmt.Errorf("analysis: chaos needs at least 4 nodes, got %d", cfg.NumNodes)
+	}
+	net := simnet.New(simnet.Config{Seed: cfg.Seed})
+	sched := net.Scheduler()
+	genesis := chainGenesis("chaos")
+	inj := faults.New(net, faults.Config{Seed: cfg.Seed, Default: faults.Profile{
+		Drop:      cfg.Drop,
+		Spike:     cfg.Spike,
+		SpikeMin:  200 * time.Millisecond,
+		SpikeMax:  2 * time.Second,
+		Duplicate: cfg.Duplicate,
+	}})
+
+	addrs := make([]netip.AddrPort, cfg.NumNodes)
+	for i := range addrs {
+		addrs[i] = netip.AddrPortFrom(
+			netip.AddrFrom4([4]byte{10, 4, byte(i >> 8), byte(i)}), 8333)
+	}
+	seedsFor := func(self netip.AddrPort) []wire.NetAddress {
+		var out []wire.NetAddress
+		for _, a := range addrs {
+			if a != self {
+				out = append(out, wire.NetAddress{
+					Addr: a, Services: wire.SFNodeNetwork, Timestamp: net.Now(),
+				})
+			}
+		}
+		return out
+	}
+	for _, a := range addrs {
+		net.AddFullNode(node.Config{
+			Self:      wire.NetAddress{Addr: a, Services: wire.SFNodeNetwork},
+			Reachable: true,
+			Genesis:   genesis,
+			SeedAddrs: seedsFor(a),
+		}).Start()
+	}
+	miner := addrs[0]
+	epoch := net.Now()
+
+	mineUntil := cfg.Duration - 5*time.Minute
+	var mine func()
+	mine = func() {
+		if h := net.Host(miner); h.Online() && h.Node() != nil {
+			_, _ = h.Node().MineBlock(0)
+		}
+		if net.Now().Sub(epoch)+cfg.BlockInterval < mineUntil {
+			sched.After(cfg.BlockInterval, mine)
+		}
+	}
+	sched.After(cfg.BlockInterval, mine)
+
+	// Partition: the isolated share is taken from the tail so the miner
+	// (node 0) stays on the majority side.
+	isolated := int(float64(cfg.NumNodes) * cfg.PartitionShare)
+	if isolated < 1 {
+		isolated = 1
+	}
+	if isolated > cfg.NumNodes-2 {
+		isolated = cfg.NumNodes - 2
+	}
+	split := cfg.NumNodes - isolated
+	inj.SchedulePartition(cfg.PartitionAt, cfg.PartitionFor, addrs[:split], addrs[split:])
+
+	// Crash wave from the tail, never the miner.
+	crashFrom := cfg.NumNodes - cfg.CrashCount
+	if crashFrom < 1 {
+		crashFrom = 1
+	}
+	inj.CrashWave(addrs[crashFrom:], cfg.CrashAt, cfg.CrashFor, 30*time.Second)
+	sched.After(cfg.FaultsOffAt, func() { inj.SetEnabled(false) })
+
+	// The last scripted disruption: the final crash's restart.
+	lastDisruption := cfg.CrashAt +
+		time.Duration(cfg.CrashCount-1)*30*time.Second + cfg.CrashFor
+	if h := cfg.PartitionAt + cfg.PartitionFor; h > lastDisruption {
+		lastDisruption = h
+	}
+	atTip := func() bool {
+		mh := net.Host(miner)
+		if mh.Node() == nil {
+			return false
+		}
+		tip, _ := mh.Node().Chain().Tip()
+		for _, a := range addrs {
+			h := net.Host(a)
+			if !h.Online() || h.Node() == nil {
+				return false
+			}
+			if t, _ := h.Node().Chain().Tip(); t != tip || !h.Node().IsSynced() {
+				return false
+			}
+		}
+		return true
+	}
+	res := &ChaosResult{TotalNodes: cfg.NumNodes}
+	var watch func()
+	watch = func() {
+		if res.RecoveryTime == 0 && net.Now().Sub(epoch) > lastDisruption && atTip() {
+			res.RecoveryTime = net.Now().Sub(epoch) - lastDisruption
+		}
+		if net.Now().Sub(epoch)+15*time.Second < cfg.Duration {
+			sched.After(15*time.Second, watch)
+		}
+	}
+	sched.After(15*time.Second, watch)
+
+	sched.RunFor(cfg.Duration)
+
+	tip, minerHeight := net.Host(miner).Node().Chain().Tip()
+	res.MinerHeight = minerHeight
+	minH, maxH := minerHeight, minerHeight
+	for _, a := range addrs {
+		h := net.Host(a)
+		if !h.Online() || h.Node() == nil {
+			continue
+		}
+		nodeTip, height := h.Node().Chain().Tip()
+		if height < minH {
+			minH = height
+		}
+		if height > maxH {
+			maxH = height
+		}
+		if nodeTip == tip && h.Node().IsSynced() {
+			res.SyncedNodes++
+		}
+		hs := h.Node().Health()
+		res.Health.PingsSent += hs.PingsSent
+		res.Health.StallEvictions += hs.StallEvictions
+		res.Health.HandshakeEvictions += hs.HandshakeEvictions
+		res.Health.BlockStallEvictions += hs.BlockStallEvictions
+		res.Health.BackoffsArmed += hs.BackoffsArmed
+	}
+	res.HeightSpread = maxH - minH
+	res.Converged = res.SyncedNodes == res.TotalNodes
+	res.FaultCounters = inj.Counters()
+	if m := inj.PresenceMatrix(time.Minute); m.Rows() > 0 {
+		res.PersistentShare = float64(m.PersistentCount()) / float64(m.Rows())
+	}
+	return res, nil
+}

@@ -207,6 +207,7 @@ func registry() []Experiment {
 		syncDepExperiment(),
 		ablationExperiment(),
 		hijackExperiment(),
+		chaosExperiment(),
 	}
 }
 

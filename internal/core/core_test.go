@@ -12,6 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig10", "fig11", "fig12", "fig13",
 		"table1", "addrmix", "resync", "syncdep", "ablation", "hijack",
+		"chaos",
 	}
 	got := Experiments()
 	if len(got) != len(want) {

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analysis"
+)
+
+// chaosExperiment runs the fault-injection chaos scenario: the
+// robustness counterpart of §IV-D. It answers whether, under the
+// adversities the paper identifies (message loss, latency spikes,
+// partitions, crash/restart churn), the node-side defences — keepalive
+// with stall eviction, block-download stall detection, handshake
+// timeouts, reconnect backoff — return every node to the network tip
+// once conditions clear, and how long the recovery takes.
+func chaosExperiment() Experiment {
+	return Experiment{
+		ID:      "chaos",
+		Title:   "Fault-injection chaos scenario: partition, crash wave, lossy links",
+		Section: "§IV-D (robustness extension)",
+		Run: func(opts Options) (*Report, error) {
+			opts = opts.withDefaults()
+			cfg := analysis.ChaosConfig{
+				Seed:     opts.Seed,
+				NumNodes: opts.NetSize / 8,
+			}
+			if opts.Quick {
+				cfg.NumNodes = 8
+				cfg.Duration = 30 * time.Minute
+			}
+			res, err := analysis.RunChaos(cfg)
+			if err != nil {
+				return nil, err
+			}
+			rep := &Report{ID: "chaos", Title: "Chaos recovery"}
+			rep.AddMetric("converged",
+				fmt.Sprintf("%v (%d/%d nodes at tip)",
+					res.Converged, res.SyncedNodes, res.TotalNodes), "")
+			rep.AddMetricf("miner height", float64(res.MinerHeight), "%.0f", "")
+			rep.AddMetricf("height spread", float64(res.HeightSpread), "%.0f", "")
+			recovery := "not within window"
+			if res.RecoveryTime > 0 {
+				recovery = res.RecoveryTime.Round(time.Second).String()
+			}
+			rep.AddMetric("recovery after last disruption", recovery, "")
+			rep.AddMetricf("persistent share (crash-tracked)",
+				100*res.PersistentShare, "%.0f%%", "")
+			rep.AddMetricf("keepalive pings", float64(res.Health.PingsSent), "%.0f", "")
+			rep.AddMetricf("stall evictions", float64(res.Health.StallEvictions), "%.0f", "")
+			rep.AddMetricf("block-stall evictions",
+				float64(res.Health.BlockStallEvictions), "%.0f", "")
+			rep.AddMetricf("handshake evictions",
+				float64(res.Health.HandshakeEvictions), "%.0f", "")
+			rep.AddMetricf("dial backoffs armed",
+				float64(res.Health.BackoffsArmed), "%.0f", "")
+
+			t := Table{Name: "fault-counters", Header: []string{"counter", "count"}}
+			for _, c := range res.FaultCounters {
+				t.Rows = append(t.Rows, []string{c.Name, fmt.Sprint(c.Value)})
+			}
+			rep.Tables = append(rep.Tables, t)
+			rep.Notes = append(rep.Notes,
+				"fault schedule and trace are fully determined by the seed (same seed → identical run)",
+				"the scenario heals and disables faults before the end; convergence demonstrates the recovery machinery, not fault-free luck")
+			return rep, nil
+		},
+	}
+}

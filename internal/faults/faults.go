@@ -1,0 +1,329 @@
+// Package faults is a deterministic, seeded fault-injection layer for
+// the simulated network. It implements simnet.Injector, intercepting the
+// dial and transmit paths with per-link message drop, duplication,
+// latency spikes (which double as reordering, since unspiked messages
+// overtake spiked ones), and dial failures; on top of that it scripts
+// network partitions with heal and node crash/restart schedules.
+//
+// The paper's root causes — churned peers, black-holed routes, and
+// messages that silently vanish — are exactly the adversities this layer
+// reproduces, so the chaos tests can demonstrate that the node-side
+// defences (keepalive, stall eviction, reconnect backoff) recover
+// synchronization once conditions improve.
+//
+// Determinism: the injector draws from its own seeded source, and the
+// simnet scheduler invokes it in a deterministic order, so a given seed
+// always produces the identical fault schedule, event trace, and
+// counters. The chaos tests pin this by running scenarios twice and
+// comparing traces.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// Profile sets the probabilistic fault rates for a link (or, as
+// Config.Default, for every link without an override). Probabilities are
+// in [0, 1]; the zero Profile injects nothing.
+type Profile struct {
+	// Drop is the probability a message is silently discarded.
+	Drop float64
+	// Duplicate is the probability a message is delivered twice, the
+	// copy arriving DuplicateDelay after the original (50 ms when zero).
+	Duplicate      float64
+	DuplicateDelay time.Duration
+	// Spike is the probability a message suffers an extra latency spike
+	// drawn uniformly from [SpikeMin, SpikeMax]. Because only the spiked
+	// message is delayed, later traffic on the link overtakes it:
+	// spikes double as reordering faults.
+	Spike    float64
+	SpikeMin time.Duration
+	SpikeMax time.Duration
+	// DialFail is the probability a connection attempt is refused at
+	// the fault layer before reaching the target.
+	DialFail float64
+}
+
+// zero reports whether the profile injects nothing.
+func (p Profile) zero() bool {
+	return p.Drop == 0 && p.Duplicate == 0 && p.Spike == 0 && p.DialFail == 0
+}
+
+// Config parameterizes an Injector.
+type Config struct {
+	// Seed drives all fault randomness.
+	Seed int64
+	// Default is the profile applied to links without an override.
+	Default Profile
+	// TraceLimit bounds the retained trace (default 20000); events past
+	// the limit are dropped but still counted.
+	TraceLimit int
+}
+
+// TraceEvent is one recorded fault or scenario action. Traces from two
+// same-seed runs of a deterministic scenario compare equal.
+type TraceEvent struct {
+	// Time is the virtual time of the event.
+	Time time.Time
+	// Kind labels the event: drop, dup, spike, dial-refuse, blocked,
+	// dial-blocked, partition, heal, blackhole, restore, crash, restart.
+	Kind string
+	// From and To are the endpoints, when applicable.
+	From, To netip.AddrPort
+	// Detail carries the message command or extra context.
+	Detail string
+}
+
+// String renders the event compactly.
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("%s %s %v->%v %s",
+		e.Time.Format("15:04:05.000"), e.Kind, e.From, e.To, e.Detail)
+}
+
+// linkKey identifies an unordered address pair.
+type linkKey struct{ lo, hi netip.Addr }
+
+func keyFor(a, b netip.Addr) linkKey {
+	if b.Less(a) {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// Injector is the fault layer. Construct with New; all methods must be
+// called from the scheduler goroutine (scenario setup before Run, or
+// scheduled callbacks), like everything else touching a simnet.
+type Injector struct {
+	net *simnet.Network
+	cfg Config
+	rng *rand.Rand
+
+	disabled bool
+	links    map[linkKey]Profile
+	// groups is the active partition: addresses in different non-zero
+	// groups cannot exchange anything. Absent addresses (group 0) are
+	// unrestricted.
+	groups map[netip.Addr]int
+	// blackholed addresses lose every message and dial in both
+	// directions, modelling a fully black-holed route to the host.
+	blackholed map[netip.Addr]bool
+
+	counters     stats.Counters
+	trace        []TraceEvent
+	traceDropped int
+
+	// Crash/restart presence tracking for PresenceMatrix.
+	start   time.Time
+	tracked []netip.AddrPort
+	isDown  map[netip.AddrPort]bool
+	down    map[netip.AddrPort][]downInterval
+}
+
+// downInterval is one offline stretch of a tracked host. End is zero
+// while the host is still down.
+type downInterval struct{ from, to time.Time }
+
+var _ simnet.Injector = (*Injector)(nil)
+
+// New creates an injector and installs it on the network.
+func New(net *simnet.Network, cfg Config) *Injector {
+	if cfg.TraceLimit == 0 {
+		cfg.TraceLimit = 20000
+	}
+	inj := &Injector{
+		net:        net,
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		links:      make(map[linkKey]Profile),
+		groups:     make(map[netip.Addr]int),
+		blackholed: make(map[netip.Addr]bool),
+		start:      net.Now(),
+		isDown:     make(map[netip.AddrPort]bool),
+		down:       make(map[netip.AddrPort][]downInterval),
+	}
+	net.SetInjector(inj)
+	return inj
+}
+
+// SetEnabled turns the whole fault layer on or off (it starts enabled).
+// Scenarios disable it near the end so the tail of the run converges
+// under clean conditions.
+func (inj *Injector) SetEnabled(enabled bool) { inj.disabled = !enabled }
+
+// SetDefault replaces the default link profile.
+func (inj *Injector) SetDefault(p Profile) { inj.cfg.Default = p }
+
+// SetLinkProfile overrides the profile for the link between a and b (both
+// directions). Use a zero Profile to make one link clean under a lossy
+// default.
+func (inj *Injector) SetLinkProfile(a, b netip.Addr, p Profile) {
+	inj.links[keyFor(a, b)] = p
+}
+
+// Partition splits the network: addresses in different groups cannot
+// dial or message each other. Addresses in no group are unrestricted
+// (they talk to everyone). A new call replaces the previous partition.
+func (inj *Injector) Partition(groups ...[]netip.AddrPort) {
+	inj.groups = make(map[netip.Addr]int)
+	for i, g := range groups {
+		for _, a := range g {
+			inj.groups[a.Addr()] = i + 1
+		}
+	}
+	inj.counters.Inc("partition")
+	inj.record(TraceEvent{
+		Time: inj.net.Now(), Kind: "partition",
+		Detail: fmt.Sprintf("groups=%d", len(groups)),
+	})
+}
+
+// Heal removes the active partition.
+func (inj *Injector) Heal() {
+	inj.groups = make(map[netip.Addr]int)
+	inj.counters.Inc("heal")
+	inj.record(TraceEvent{Time: inj.net.Now(), Kind: "heal"})
+}
+
+// Blackhole makes every route to and from addr lose everything: dials
+// time out, established links go silent, but nothing is closed — the
+// host looks alive to itself and dead to everyone else.
+func (inj *Injector) Blackhole(addr netip.Addr) {
+	inj.blackholed[addr] = true
+	inj.counters.Inc("blackhole")
+	inj.record(TraceEvent{
+		Time: inj.net.Now(), Kind: "blackhole",
+		From: netip.AddrPortFrom(addr, 0),
+	})
+}
+
+// Restore lifts a Blackhole.
+func (inj *Injector) Restore(addr netip.Addr) {
+	delete(inj.blackholed, addr)
+	inj.counters.Inc("restore")
+	inj.record(TraceEvent{
+		Time: inj.net.Now(), Kind: "restore",
+		From: netip.AddrPortFrom(addr, 0),
+	})
+}
+
+// blocked reports whether the route between from and to is severed by a
+// partition or blackhole.
+func (inj *Injector) blocked(from, to netip.AddrPort) bool {
+	if inj.blackholed[from.Addr()] || inj.blackholed[to.Addr()] {
+		return true
+	}
+	gf, gt := inj.groups[from.Addr()], inj.groups[to.Addr()]
+	return gf != 0 && gt != 0 && gf != gt
+}
+
+// profileFor returns the effective profile for a route.
+func (inj *Injector) profileFor(from, to netip.AddrPort) Profile {
+	if p, ok := inj.links[keyFor(from.Addr(), to.Addr())]; ok {
+		return p
+	}
+	return inj.cfg.Default
+}
+
+// FilterDial implements simnet.Injector.
+func (inj *Injector) FilterDial(from, to netip.AddrPort) simnet.DialVerdict {
+	if inj.disabled {
+		return simnet.DialProceed
+	}
+	if inj.blocked(from, to) {
+		inj.counters.Inc("dial.blocked")
+		inj.record(TraceEvent{
+			Time: inj.net.Now(), Kind: "dial-blocked", From: from, To: to,
+		})
+		return simnet.DialBlock
+	}
+	p := inj.profileFor(from, to)
+	if p.DialFail > 0 && inj.rng.Float64() < p.DialFail {
+		inj.counters.Inc("dial.refused")
+		inj.record(TraceEvent{
+			Time: inj.net.Now(), Kind: "dial-refuse", From: from, To: to,
+		})
+		return simnet.DialRefuse
+	}
+	return simnet.DialProceed
+}
+
+// FilterTransmit implements simnet.Injector.
+func (inj *Injector) FilterTransmit(from, to netip.AddrPort, msg wire.Message) simnet.TransmitVerdict {
+	if inj.disabled {
+		return simnet.TransmitVerdict{}
+	}
+	if inj.blocked(from, to) {
+		inj.counters.Inc("transmit.blocked")
+		inj.record(TraceEvent{
+			Time: inj.net.Now(), Kind: "blocked", From: from, To: to,
+			Detail: msg.Command(),
+		})
+		return simnet.TransmitVerdict{Drop: true}
+	}
+	p := inj.profileFor(from, to)
+	if p.zero() {
+		return simnet.TransmitVerdict{}
+	}
+	if p.Drop > 0 && inj.rng.Float64() < p.Drop {
+		inj.counters.Inc("transmit.dropped")
+		inj.record(TraceEvent{
+			Time: inj.net.Now(), Kind: "drop", From: from, To: to,
+			Detail: msg.Command(),
+		})
+		return simnet.TransmitVerdict{Drop: true}
+	}
+	var verdict simnet.TransmitVerdict
+	if p.Spike > 0 && inj.rng.Float64() < p.Spike {
+		span := p.SpikeMax - p.SpikeMin
+		extra := p.SpikeMin
+		if span > 0 {
+			extra += time.Duration(inj.rng.Int63n(int64(span)))
+		}
+		verdict.ExtraDelay = extra
+		inj.counters.Inc("transmit.spiked")
+		inj.record(TraceEvent{
+			Time: inj.net.Now(), Kind: "spike", From: from, To: to,
+			Detail: fmt.Sprintf("%s +%v", msg.Command(), extra),
+		})
+	}
+	if p.Duplicate > 0 && inj.rng.Float64() < p.Duplicate {
+		verdict.Duplicate = true
+		verdict.DuplicateDelay = p.DuplicateDelay
+		if verdict.DuplicateDelay == 0 {
+			verdict.DuplicateDelay = 50 * time.Millisecond
+		}
+		inj.counters.Inc("transmit.duplicated")
+		inj.record(TraceEvent{
+			Time: inj.net.Now(), Kind: "dup", From: from, To: to,
+			Detail: msg.Command(),
+		})
+	}
+	return verdict
+}
+
+// record appends a trace event, bounded by TraceLimit.
+func (inj *Injector) record(ev TraceEvent) {
+	if len(inj.trace) >= inj.cfg.TraceLimit {
+		inj.traceDropped++
+		inj.counters.Inc("trace.dropped")
+		return
+	}
+	inj.trace = append(inj.trace, ev)
+}
+
+// Trace returns the recorded events (bounded by Config.TraceLimit).
+func (inj *Injector) Trace() []TraceEvent { return inj.trace }
+
+// Counters returns a sorted snapshot of the fault counters.
+func (inj *Injector) Counters() []stats.Counter { return inj.counters.Snapshot() }
+
+// CountersString renders the counters as a deterministic one-line
+// summary, suitable for reports and same-seed comparisons.
+func (inj *Injector) CountersString() string { return inj.counters.String() }

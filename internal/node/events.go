@@ -48,6 +48,20 @@ const (
 	EvBlockMined
 	// EvSyncDone fires when initial block download completes.
 	EvSyncDone
+	// EvPeerStalled fires when a peer is evicted because its keepalive
+	// PING went unanswered past the stall timeout.
+	EvPeerStalled
+	// EvBlockStalled fires when a peer is evicted for sitting on a
+	// requested block past the block-stall timeout; Hash carries the
+	// stalled block.
+	EvBlockStalled
+	// EvHandshakeTimeout fires when a peer is evicted for failing to
+	// complete VERSION/VERACK in time.
+	EvHandshakeTimeout
+	// EvDialBackoff fires when a failed dial arms (or extends) the
+	// per-address reconnect backoff; Delay carries the backoff duration
+	// and Count the consecutive-failure count.
+	EvDialBackoff
 )
 
 // String returns the event type name.
@@ -85,6 +99,14 @@ func (t EventType) String() string {
 		return "block-mined"
 	case EvSyncDone:
 		return "sync-done"
+	case EvPeerStalled:
+		return "peer-stalled"
+	case EvBlockStalled:
+		return "block-stalled"
+	case EvHandshakeTimeout:
+		return "handshake-timeout"
+	case EvDialBackoff:
+		return "dial-backoff"
 	default:
 		return "unknown"
 	}

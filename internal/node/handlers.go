@@ -23,7 +23,7 @@ func (n *Node) handleMessage(p *Peer, msg wire.Message) {
 	case *wire.MsgPing:
 		n.queueMsg(p, &wire.MsgPong{Nonce: m.Nonce}, classControl)
 	case *wire.MsgPong:
-		// Keepalive acknowledged; nothing to do.
+		n.handlePong(p, m)
 	case *wire.MsgGetAddr:
 		n.handleGetAddr(p)
 	case *wire.MsgAddr:
@@ -117,6 +117,9 @@ func (n *Node) maybeCompleteHandshake(p *Peer) {
 }
 
 // disconnectPeer drops the connection locally and tells the environment.
+// The peer is removed before env.Disconnect fires, so the OnDisconnect
+// callback for this conn is a no-op and in-flight cleanup must happen
+// here.
 func (n *Node) disconnectPeer(p *Peer) {
 	n.removePeer(p)
 	n.env.Disconnect(p.id)
@@ -124,6 +127,7 @@ func (n *Node) disconnectPeer(p *Peer) {
 		Type: EvConnClose, Time: n.env.Now(), Node: n.cfg.Self.Addr,
 		Peer: p.addr, Dir: p.dir, Conn: p.id,
 	})
+	n.clearInFlight(p.id)
 }
 
 // requestHeaders queues a GETHEADERS for everything after our tip.
@@ -190,7 +194,7 @@ func (n *Node) handleInv(p *Peer, m *wire.MsgInv) {
 			if _, inFlight := n.blocksInFlight[iv.Hash]; inFlight {
 				continue
 			}
-			n.blocksInFlight[iv.Hash] = p.id
+			n.blocksInFlight[iv.Hash] = inFlightBlock{conn: p.id, requested: n.env.Now()}
 			want = append(want, iv)
 		}
 	}
@@ -378,7 +382,7 @@ func (n *Node) handleHeaders(p *Peer, m *wire.MsgHeaders) {
 		if len(n.blocksInFlight) >= maxBlocksInFlight {
 			break
 		}
-		n.blocksInFlight[h] = p.id
+		n.blocksInFlight[h] = inFlightBlock{conn: p.id, requested: n.env.Now()}
 		gd := &wire.MsgGetData{}
 		gd.InvList = []wire.InvVect{{Type: wire.InvTypeBlock, Hash: h}}
 		n.queueMsg(p, gd, classControl)
@@ -437,7 +441,7 @@ func (n *Node) handleCmpctBlock(p *Peer, m *wire.MsgCmpctBlock) {
 	res, err := chain.ReconstructCompactBlock(m, n.mempool)
 	if err != nil {
 		// Short-ID collision: fall back to a full block request.
-		n.blocksInFlight[h] = p.id
+		n.blocksInFlight[h] = inFlightBlock{conn: p.id, requested: n.env.Now()}
 		gd := &wire.MsgGetData{}
 		gd.InvList = []wire.InvVect{{Type: wire.InvTypeBlock, Hash: h}}
 		n.queueMsg(p, gd, classControl)
@@ -481,7 +485,7 @@ func (n *Node) handleBlockTxn(p *Peer, m *wire.MsgBlockTxn) {
 	blk, err := chain.CompleteReconstruction(pend.cb, pend.partial, n.mempool, m)
 	if err != nil {
 		// Reconstruction failed: request the full block.
-		n.blocksInFlight[m.BlockHash] = p.id
+		n.blocksInFlight[m.BlockHash] = inFlightBlock{conn: p.id, requested: n.env.Now()}
 		gd := &wire.MsgGetData{}
 		gd.InvList = []wire.InvVect{{Type: wire.InvTypeBlock, Hash: m.BlockHash}}
 		n.queueMsg(p, gd, classControl)

@@ -145,6 +145,24 @@ const (
 	// timing when simulated blocks carry few transactions (real 2020
 	// blocks average ~1.2 MB).
 	DefaultBlockSizeHint = 1 << 20
+	// DefaultPingInterval is how long a peer may stay quiet before a
+	// keepalive PING is sent (Bitcoin Core's PING_INTERVAL).
+	DefaultPingInterval = 2 * time.Minute
+	// DefaultStallTimeout disconnects a peer whose keepalive PING has
+	// gone unanswered for this long (Bitcoin Core's TIMEOUT_INTERVAL).
+	DefaultStallTimeout = 20 * time.Minute
+	// DefaultHandshakeTimeout disconnects peers that fail to complete
+	// VERSION/VERACK (Bitcoin Core's version-handshake timeout).
+	DefaultHandshakeTimeout = 60 * time.Second
+	// DefaultBlockStallTimeout evicts a peer that sits on a requested
+	// block for this long (Bitcoin Core's 2-minute stalling rule,
+	// simplified to a flat per-request deadline).
+	DefaultBlockStallTimeout = 2 * time.Minute
+	// DefaultDialBackoffBase is the first reconnect backoff applied to
+	// an address after a failed dial; it doubles per consecutive failure.
+	DefaultDialBackoffBase = 10 * time.Second
+	// DefaultDialBackoffMax caps the per-address reconnect backoff.
+	DefaultDialBackoffMax = 10 * time.Minute
 )
 
 // Config parameterizes a node.
@@ -202,6 +220,28 @@ type Config struct {
 	Sink EventSink
 	// AddrManKey seeds addrman bucket placement.
 	AddrManKey uint64
+
+	// PingInterval is the keepalive cadence: a PING is sent on any
+	// connection idle for this long (default 2 min, like Bitcoin Core;
+	// negative disables keepalive).
+	PingInterval time.Duration
+	// StallTimeout disconnects a peer whose keepalive PING has gone
+	// unanswered for this long (default 20 min; negative disables).
+	StallTimeout time.Duration
+	// HandshakeTimeout disconnects a peer that has not completed
+	// VERSION/VERACK within this window (default 60 s; negative
+	// disables), evicting black-hole peers that accept and stall.
+	HandshakeTimeout time.Duration
+	// BlockStallTimeout evicts a peer that has held a requested block
+	// for this long without delivering it, so IBD can continue from
+	// another peer (default 2 min; negative disables).
+	BlockStallTimeout time.Duration
+	// DialBackoffBase and DialBackoffMax shape the per-address
+	// reconnect backoff: after a failed dial the address is skipped for
+	// base×2^(failures−1), jittered ±50% and capped at max, so dial
+	// storms do not hammer dead addresses (negative base disables).
+	DialBackoffBase time.Duration
+	DialBackoffMax  time.Duration
 }
 
 // withDefaults fills zero fields.
@@ -245,6 +285,24 @@ func (c Config) withDefaults() Config {
 	if c.UserAgent == "" {
 		c.UserAgent = "/Satoshi:0.20.1(repro)/"
 	}
+	if c.PingInterval == 0 {
+		c.PingInterval = DefaultPingInterval
+	}
+	if c.StallTimeout == 0 {
+		c.StallTimeout = DefaultStallTimeout
+	}
+	if c.HandshakeTimeout == 0 {
+		c.HandshakeTimeout = DefaultHandshakeTimeout
+	}
+	if c.BlockStallTimeout == 0 {
+		c.BlockStallTimeout = DefaultBlockStallTimeout
+	}
+	if c.DialBackoffBase == 0 {
+		c.DialBackoffBase = DefaultDialBackoffBase
+	}
+	if c.DialBackoffMax == 0 {
+		c.DialBackoffMax = DefaultDialBackoffMax
+	}
 	return c
 }
 
@@ -275,8 +333,16 @@ type Node struct {
 	dialAttempts  int
 	dialSuccesses int
 
-	// blocksInFlight tracks requested blocks to avoid duplicate GETDATA.
-	blocksInFlight map[chainhash.Hash]ConnID
+	// backoff holds the per-address reconnect schedule; addresses are
+	// skipped by selectDialTarget until their deadline passes.
+	backoff map[netip.AddrPort]*backoffState
+	// health aggregates the robustness counters (stall evictions,
+	// keepalive traffic, backoff arms) for measurement code.
+	health HealthStats
+
+	// blocksInFlight tracks requested blocks (and when they were
+	// requested) to avoid duplicate GETDATA and to detect stalls.
+	blocksInFlight map[chainhash.Hash]inFlightBlock
 	// seenTimes records when each object (block or tx) was first seen,
 	// for relay-delay instrumentation: the paper measures receive-to-
 	// last-connection delay including body transfers.
@@ -293,6 +359,13 @@ type pendingCompact struct {
 	from    ConnID
 }
 
+// inFlightBlock records who a block was requested from and when, for the
+// block-download stall detector.
+type inFlightBlock struct {
+	conn      ConnID
+	requested time.Time
+}
+
 // New constructs a node bound to env. Call Start to bring it online.
 func New(cfg Config, env Env) *Node {
 	cfg = cfg.withDefaults()
@@ -307,7 +380,8 @@ func New(cfg Config, env Env) *Node {
 		peers:          make(map[ConnID]*Peer),
 		byAddr:         make(map[netip.AddrPort]*Peer),
 		dialing:        make(map[netip.AddrPort]Direction),
-		blocksInFlight: make(map[chainhash.Hash]ConnID),
+		backoff:        make(map[netip.AddrPort]*backoffState),
+		blocksInFlight: make(map[chainhash.Hash]inFlightBlock),
 		pendingCmpct:   make(map[chainhash.Hash]*pendingCompact),
 		seenTimes:      make(map[chainhash.Hash]time.Time),
 	}
@@ -334,6 +408,9 @@ func (n *Node) Start() {
 	n.emit(Event{Type: EvStarted, Node: n.cfg.Self.Addr, Time: n.env.Now()})
 	n.scheduleMaintenance(0)
 	n.env.Schedule(n.cfg.FeelerInterval, n.feelerTick)
+	if d := n.healthTickInterval(); d > 0 {
+		n.env.Schedule(d, n.healthTick)
+	}
 }
 
 // Stop takes the node offline: every connection is dropped and future
@@ -509,6 +586,9 @@ func (n *Node) selectDialTarget(newOnly bool) (wire.NetAddress, bool) {
 		if _, inFlight := n.dialing[na.Addr]; inFlight {
 			continue
 		}
+		if n.inBackoff(na.Addr) {
+			continue
+		}
 		return na, true
 	}
 	return wire.NetAddress{}, false
@@ -544,8 +624,10 @@ func (n *Node) OnDialResult(remote netip.AddrPort, conn ConnID, err error) {
 			Type: EvDialFail, Node: n.cfg.Self.Addr, Peer: remote,
 			Dir: dir, Time: n.env.Now(), Err: err,
 		})
+		n.armBackoff(remote)
 		return
 	}
+	n.clearBackoff(remote)
 	n.dialSuccesses++
 	n.emit(Event{
 		Type: EvDialSuccess, Node: n.cfg.Self.Addr, Peer: remote,
@@ -592,11 +674,7 @@ func (n *Node) OnDisconnect(conn ConnID) {
 	})
 	// Blocks requested from this peer will never arrive; clear them so
 	// they can be re-requested from another peer at the next header sync.
-	for h, c := range n.blocksInFlight {
-		if c == conn {
-			delete(n.blocksInFlight, h)
-		}
-	}
+	n.clearInFlight(conn)
 	// A dropped outbound connection frees a slot: try to refill promptly
 	// rather than waiting out the idle maintenance interval.
 	if p.dir == Outbound && !n.stopped {
@@ -615,6 +693,7 @@ func (n *Node) OnMessage(conn ConnID, msg wire.Message) {
 	if !ok {
 		return
 	}
+	p.lastRecv = n.env.Now()
 	p.pushRecv(msg)
 	n.pending++
 	n.armPump()

@@ -74,6 +74,16 @@ type Peer struct {
 	getAddrSent bool
 	// addrResponded limits GETADDR responses (Bitcoin Core answers once).
 	addrResponded bool
+
+	// lastRecv is when the last message arrived, driving the keepalive
+	// idle check (Bitcoin Core's nLastRecv).
+	lastRecv time.Time
+	// pingNonce and pingSent track the outstanding keepalive PING: a
+	// matching PONG clears them, and an unanswered PING older than the
+	// stall timeout evicts the peer. pingNonce is zero when no PING is
+	// outstanding.
+	pingNonce uint64
+	pingSent  time.Time
 }
 
 // Addr returns the peer's remote address.

@@ -97,7 +97,7 @@ func (h *Host) Now() time.Time { return h.net.sched.Now() }
 // Rand implements node.Env.
 func (h *Host) Rand() *rand.Rand {
 	if h.rng == nil {
-		h.rng = rand.New(rand.NewSource(int64(pairHash(h.addr.Addr(), h.addr.Addr()))))
+		h.rng = rand.New(rand.NewSource(int64(addrHash(h.addr.Addr()))))
 	}
 	return h.rng
 }

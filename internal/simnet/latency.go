@@ -20,6 +20,13 @@ func ConstantLatency(d time.Duration) LatencyFunc {
 	return func(netip.Addr, netip.Addr) time.Duration { return d }
 }
 
+// addrHash produces a deterministic 64-bit hash of a single address —
+// used where an outcome must be a property of one endpoint alone (e.g.
+// the FastFailPct refusal/timeout split for dead addresses).
+func addrHash(a netip.Addr) uint64 {
+	return pairHash(a, a)
+}
+
 // pairHash produces a symmetric deterministic 64-bit hash of an address
 // pair.
 func pairHash(a, b netip.Addr) uint64 {

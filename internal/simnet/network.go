@@ -38,7 +38,59 @@ const (
 	// KindSilentStub models an address whose firewall drops everything;
 	// dials and probes time out.
 	KindSilentStub
+	// KindBlackholeStub models a stalling peer: it accepts the TCP
+	// connection (the dial succeeds and a link forms) but never sends a
+	// byte, so the dialer's handshake hangs until its own stall
+	// detection gives up. This is the adversity class behind the
+	// node-side handshake and keepalive timeouts.
+	KindBlackholeStub
 )
+
+// DialVerdict is a fault injector's decision about one dial attempt.
+type DialVerdict int
+
+// Dial verdicts.
+const (
+	// DialProceed lets the dial run its normal course.
+	DialProceed DialVerdict = iota
+	// DialBlock silently discards the SYN: the dial fails with
+	// ErrTimeout after the full dial timeout (a partitioned or
+	// black-holed route).
+	DialBlock
+	// DialRefuse answers the dial with an immediate RST: the dial fails
+	// with ErrRefused after the handshake RTT.
+	DialRefuse
+)
+
+// TransmitVerdict is a fault injector's decision about one message
+// transmission. The zero value delivers the message normally.
+type TransmitVerdict struct {
+	// Drop discards the message entirely (the link stays up — the
+	// receiver simply never sees it, like a lost TCP segment on a
+	// connection that later resets).
+	Drop bool
+	// ExtraDelay is added on top of the link latency (a latency spike).
+	// Because other messages on the link are not delayed, a spike lets
+	// later messages overtake this one — delay doubles as reordering.
+	ExtraDelay time.Duration
+	// Duplicate delivers a second copy DuplicateDelay after the first.
+	Duplicate      bool
+	DuplicateDelay time.Duration
+}
+
+// Injector intercepts the network's dial and transmit paths. The
+// internal/faults package provides a deterministic, seeded
+// implementation; the interface lives here so simnet does not depend on
+// it. Implementations are called from inside scheduler callbacks and
+// must be deterministic for a given call sequence.
+type Injector interface {
+	// FilterDial is consulted for every connection attempt before any
+	// target semantics apply.
+	FilterDial(from, to netip.AddrPort) DialVerdict
+	// FilterTransmit is consulted for every message put on an
+	// established link.
+	FilterTransmit(from, to netip.AddrPort, msg wire.Message) TransmitVerdict
+}
 
 // Config parameterizes a Network.
 type Config struct {
@@ -100,12 +152,13 @@ func (l *link) other(h *Host) *Host {
 
 // Network owns the simulated hosts, links, and the event scheduler.
 type Network struct {
-	cfg   Config
-	sched *Scheduler
-	rng   *rand.Rand
-	hosts map[netip.AddrPort]*Host
-	links map[node.ConnID]*link
-	next  node.ConnID
+	cfg      Config
+	sched    *Scheduler
+	rng      *rand.Rand
+	hosts    map[netip.AddrPort]*Host
+	links    map[node.ConnID]*link
+	next     node.ConnID
+	injector Injector
 }
 
 // New creates an empty simulated network.
@@ -161,6 +214,17 @@ func (n *Network) AddStub(addr netip.AddrPort, responsive bool) *Host {
 	if responsive {
 		kind = KindResponsiveStub
 	}
+	return n.addStub(addr, kind)
+}
+
+// AddBlackholeStub registers a stalling endpoint: dials to it succeed
+// but it never transmits, so connections to it hang until the dialer's
+// stall detection fires. Call Start to bring it online like any stub.
+func (n *Network) AddBlackholeStub(addr netip.AddrPort) *Host {
+	return n.addStub(addr, KindBlackholeStub)
+}
+
+func (n *Network) addStub(addr netip.AddrPort, kind HostKind) *Host {
 	h := &Host{
 		net:   n,
 		addr:  addr,
@@ -170,6 +234,12 @@ func (n *Network) AddStub(addr netip.AddrPort, responsive bool) *Host {
 	n.hosts[addr] = h
 	return h
 }
+
+// SetInjector installs (or, with nil, removes) the fault injector
+// consulted on every dial and transmit. Install it before the scenario
+// runs; swapping injectors mid-run is allowed and takes effect for
+// subsequent calls.
+func (n *Network) SetInjector(i Injector) { n.injector = i }
 
 // RemoveHost unregisters addr entirely (stopping it first).
 func (n *Network) RemoveHost(addr netip.AddrPort) {
@@ -201,10 +271,29 @@ func (n *Network) dial(from *Host, remote netip.AddrPort) {
 		})
 	}
 
+	// Fault injection comes first: a partitioned or black-holed route
+	// fails regardless of what the target would have answered.
+	if n.injector != nil {
+		switch n.injector.FilterDial(from.addr, remote) {
+		case DialBlock:
+			fail(n.cfg.DialTimeout, ErrTimeout)
+			return
+		case DialRefuse:
+			rtt := n.cfg.Latency(from.addr.Addr(), remote.Addr()) *
+				time.Duration(n.cfg.HandshakeRTTs)
+			fail(rtt, ErrRefused)
+			return
+		}
+	}
+
 	// Unknown or offline targets: a deterministic per-address split
-	// between fast refusals (RST) and full SYN timeouts.
+	// between fast refusals (RST) and full SYN timeouts. The split is
+	// intentionally a property of the target alone — whether a dead
+	// address answers with an RST (departed host, route still up) or
+	// silently swallows the SYN (NAT/firewall) does not depend on who
+	// dials it, so every dialer observes the same failure mode.
 	if target == nil || !target.online {
-		if int(pairHash(remote.Addr(), remote.Addr())%100) < n.cfg.FastFailPct {
+		if int(addrHash(remote.Addr())%100) < n.cfg.FastFailPct {
 			rtt := n.cfg.Latency(from.addr.Addr(), remote.Addr()) *
 				time.Duration(n.cfg.HandshakeRTTs)
 			fail(rtt, ErrRefused)
@@ -223,14 +312,31 @@ func (n *Network) dial(from *Host, remote netip.AddrPort) {
 		fail(rtt, ErrRefused)
 		return
 	}
-	// Full node target: the accept decision happens at the target after
-	// the connection-establishment RTT.
+	// Full node or black-hole target: the accept decision happens at the
+	// target after the connection-establishment RTT.
 	targetEpoch := target.epoch
 	n.sched.After(rtt, func() {
 		if from.epoch != fromEpoch || from.node == nil {
 			return
 		}
-		if target.epoch != targetEpoch || !target.online || target.node == nil {
+		if target.epoch != targetEpoch || !target.online {
+			fail(n.cfg.DialTimeout-rtt, ErrTimeout)
+			return
+		}
+		if target.kind == KindBlackholeStub {
+			// The black hole accepts the connection and then says
+			// nothing, ever: the link exists but no handshake will
+			// complete on it.
+			n.next++
+			id := n.next
+			l := &link{id: id, a: from, b: target}
+			n.links[id] = l
+			from.links[id] = l
+			target.links[id] = l
+			from.node.OnDialResult(remote, id, nil)
+			return
+		}
+		if target.node == nil {
 			fail(n.cfg.DialTimeout-rtt, ErrTimeout)
 			return
 		}
@@ -249,21 +355,32 @@ func (n *Network) dial(from *Host, remote netip.AddrPort) {
 }
 
 // transmit delivers msg over the link after the sender-side delay plus
-// link latency.
+// link latency, subject to the fault injector's verdict.
 func (n *Network) transmit(from *Host, id node.ConnID, msg wire.Message, delay time.Duration) {
 	l := n.links[id]
 	if l == nil || l.closed {
 		return
 	}
 	to := l.other(from)
+	var verdict TransmitVerdict
+	if n.injector != nil {
+		verdict = n.injector.FilterTransmit(from.addr, to.addr, msg)
+		if verdict.Drop {
+			return
+		}
+	}
 	toEpoch := to.epoch
-	total := delay + n.latencyBetween(from, to)
-	n.sched.After(total, func() {
+	total := delay + n.latencyBetween(from, to) + verdict.ExtraDelay
+	deliver := func() {
 		if l.closed || to.epoch != toEpoch || to.node == nil || !to.online {
 			return
 		}
 		to.node.OnMessage(id, msg)
-	})
+	}
+	n.sched.After(total, deliver)
+	if verdict.Duplicate {
+		n.sched.After(total+verdict.DuplicateDelay, deliver)
+	}
 }
 
 // closeLink tears a link down, notifying the remote endpoint after the
@@ -321,6 +438,10 @@ func (n *Network) Probe(from netip.Addr, addr netip.AddrPort, done func(ProbeRes
 	lat := n.cfg.Latency(from, addr.Addr()) * time.Duration(n.cfg.HandshakeRTTs)
 	switch target.kind {
 	case KindSilentStub:
+		n.sched.After(n.cfg.DialTimeout, func() { done(ProbeSilent) })
+	case KindBlackholeStub:
+		// Accepts the connection but never answers the VER probe; the
+		// scanner's read deadline expires and classifies it silent.
 		n.sched.After(n.cfg.DialTimeout, func() { done(ProbeSilent) })
 	case KindResponsiveStub:
 		n.sched.After(lat, func() { done(ProbeResponsive) })

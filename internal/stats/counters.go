@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters is a set of named event counters. The zero value is ready to
+// use. Snapshots are sorted by name, so two counter sets accumulated by
+// deterministic processes compare equal with reflect.DeepEqual — the
+// property the chaos tests use to assert same-seed reproducibility.
+type Counters struct {
+	m map[string]int64
+}
+
+// Add increments the named counter by delta.
+func (c *Counters) Add(name string, delta int64) {
+	if c.m == nil {
+		c.m = make(map[string]int64)
+	}
+	c.m[name] += delta
+}
+
+// Inc increments the named counter by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the named counter's value (zero when never incremented).
+func (c *Counters) Get(name string) int64 { return c.m[name] }
+
+// Counter is one name/value pair of a snapshot.
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// Snapshot returns all counters sorted by name.
+func (c *Counters) Snapshot() []Counter {
+	out := make([]Counter, 0, len(c.m))
+	for name, v := range c.m {
+		out = append(out, Counter{Name: name, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// String renders the snapshot as "name=value" pairs, sorted by name.
+func (c *Counters) String() string {
+	snap := c.Snapshot()
+	parts := make([]string, len(snap))
+	for i, ctr := range snap {
+		parts[i] = fmt.Sprintf("%s=%d", ctr.Name, ctr.Value)
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,37 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCountersSnapshotSorted(t *testing.T) {
+	var c Counters
+	c.Inc("zeta")
+	c.Add("alpha", 3)
+	c.Inc("mid")
+	c.Inc("alpha")
+	want := []Counter{{"alpha", 4}, {"mid", 1}, {"zeta", 1}}
+	if got := c.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Snapshot() = %v, want %v", got, want)
+	}
+	if got := c.Get("alpha"); got != 4 {
+		t.Errorf("Get(alpha) = %d, want 4", got)
+	}
+	if got := c.Get("missing"); got != 0 {
+		t.Errorf("Get(missing) = %d, want 0", got)
+	}
+	if got, want := c.String(), "alpha=4 mid=1 zeta=1"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestCountersZeroValue(t *testing.T) {
+	var c Counters
+	if got := c.Snapshot(); len(got) != 0 {
+		t.Errorf("zero-value Snapshot() = %v, want empty", got)
+	}
+	if c.String() != "" {
+		t.Errorf("zero-value String() = %q, want empty", c.String())
+	}
+}

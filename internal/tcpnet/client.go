@@ -25,6 +25,19 @@ type Dialer struct {
 	IOTimeout time.Duration
 	// UserAgent is advertised in VERSION.
 	UserAgent string
+	// DialRetries bounds additional connection attempts after a transient
+	// failure (refused, reset, or timed out). Zero means
+	// DefaultDialRetries; negative disables retrying. Handshake failures
+	// are never retried — only the TCP connect is.
+	DialRetries int
+	// RetryBackoff is the delay before the first retry, doubling on each
+	// further attempt (zero → DefaultRetryBackoff).
+	RetryBackoff time.Duration
+
+	// dialFn and sleepFn are test seams; nil selects the real
+	// net.DialTimeout and time.Sleep.
+	dialFn  func(addr string, timeout time.Duration) (net.Conn, error)
+	sleepFn func(time.Duration)
 }
 
 var _ crawler.Dialer = (*Dialer)(nil)
@@ -49,10 +62,65 @@ func (d *Dialer) defaults() (wire.BitcoinNet, time.Duration, time.Duration, stri
 	return network, dt, iot, ua
 }
 
+// transientDialError reports whether a connect failure is worth
+// retrying: the endpoint exists but refused/reset us, or the attempt
+// timed out. Permanent conditions (unroutable address, bad argument)
+// fail immediately.
+func transientDialError(err error) bool {
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) {
+		return true
+	}
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var netErr net.Error
+	return errors.As(err, &netErr) && netErr.Timeout()
+}
+
+// connect establishes the TCP connection, retrying transient failures
+// with bounded exponential backoff.
+func (d *Dialer) connect(addr netip.AddrPort, dialTimeout time.Duration) (net.Conn, error) {
+	retries := d.DialRetries
+	if retries == 0 {
+		retries = DefaultDialRetries
+	} else if retries < 0 {
+		retries = 0
+	}
+	backoff := d.RetryBackoff
+	if backoff <= 0 {
+		backoff = DefaultRetryBackoff
+	}
+	dial := d.dialFn
+	if dial == nil {
+		dial = func(a string, to time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", a, to)
+		}
+	}
+	sleep := d.sleepFn
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			sleep(backoff << (attempt - 1))
+		}
+		conn, err := dial(addr.String(), dialTimeout)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if !transientDialError(err) {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
 // Dial implements crawler.Dialer.
 func (d *Dialer) Dial(addr netip.AddrPort) (crawler.Session, error) {
 	network, dialTimeout, ioTimeout, ua := d.defaults()
-	conn, err := net.DialTimeout("tcp", addr.String(), dialTimeout)
+	conn, err := d.connect(addr, dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: dial %v: %w", addr, err)
 	}

@@ -1,0 +1,121 @@
+package tcpnet
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// flakyDial fails the first n attempts with err, then reports success
+// with a closed pipe end (enough for connect; the tests here never
+// handshake through it).
+type flakyDial struct {
+	failures int
+	err      error
+	attempts int
+	sleeps   []time.Duration
+}
+
+func (f *flakyDial) dial(addr string, timeout time.Duration) (net.Conn, error) {
+	f.attempts++
+	if f.attempts <= f.failures {
+		return nil, f.err
+	}
+	c1, c2 := net.Pipe()
+	_ = c2.Close()
+	return c1, nil
+}
+
+func (f *flakyDial) sleep(d time.Duration) { f.sleeps = append(f.sleeps, d) }
+
+func TestConnectRetriesTransientFailures(t *testing.T) {
+	f := &flakyDial{failures: 2, err: syscall.ECONNREFUSED}
+	d := &Dialer{RetryBackoff: 10 * time.Millisecond, dialFn: f.dial, sleepFn: f.sleep}
+	conn, err := d.connect(mustAddr(t), time.Second)
+	if err != nil {
+		t.Fatalf("connect failed despite retries: %v", err)
+	}
+	_ = conn.Close()
+	if f.attempts != 3 {
+		t.Errorf("attempts = %d, want 3", f.attempts)
+	}
+	// Backoff doubles: 10ms before the first retry, 20ms before the second.
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(f.sleeps) != len(want) {
+		t.Fatalf("sleeps = %v, want %v", f.sleeps, want)
+	}
+	for i := range want {
+		if f.sleeps[i] != want[i] {
+			t.Errorf("sleep %d = %v, want %v", i, f.sleeps[i], want[i])
+		}
+	}
+}
+
+func TestConnectGivesUpAfterBoundedRetries(t *testing.T) {
+	f := &flakyDial{failures: 100, err: syscall.ECONNRESET}
+	d := &Dialer{RetryBackoff: time.Millisecond, dialFn: f.dial, sleepFn: f.sleep}
+	if _, err := d.connect(mustAddr(t), time.Second); !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("err = %v, want ECONNRESET", err)
+	}
+	if f.attempts != 1+DefaultDialRetries {
+		t.Errorf("attempts = %d, want %d", f.attempts, 1+DefaultDialRetries)
+	}
+}
+
+func TestConnectDoesNotRetryPermanentErrors(t *testing.T) {
+	f := &flakyDial{failures: 100, err: errors.New("no route to host")}
+	d := &Dialer{dialFn: f.dial, sleepFn: f.sleep}
+	if _, err := d.connect(mustAddr(t), time.Second); err == nil {
+		t.Fatal("connect succeeded unexpectedly")
+	}
+	if f.attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (no retry on permanent error)", f.attempts)
+	}
+	if len(f.sleeps) != 0 {
+		t.Errorf("slept %v before a permanent failure", f.sleeps)
+	}
+}
+
+func TestConnectNegativeRetriesDisables(t *testing.T) {
+	f := &flakyDial{failures: 100, err: syscall.ECONNREFUSED}
+	d := &Dialer{DialRetries: -1, dialFn: f.dial, sleepFn: f.sleep}
+	if _, err := d.connect(mustAddr(t), time.Second); err == nil {
+		t.Fatal("connect succeeded unexpectedly")
+	}
+	if f.attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (retries disabled)", f.attempts)
+	}
+}
+
+func TestDialRetriesThroughToHandshake(t *testing.T) {
+	// End to end: the first connect attempt is refused, the retry reaches
+	// a real server and the handshake completes.
+	srv := newTestServer(t, ServerConfig{})
+	refusals := 0
+	d := &Dialer{
+		RetryBackoff: time.Millisecond,
+		dialFn: func(addr string, timeout time.Duration) (net.Conn, error) {
+			if refusals == 0 {
+				refusals++
+				return nil, syscall.ECONNREFUSED
+			}
+			return net.DialTimeout("tcp", addr, timeout)
+		},
+	}
+	sess, err := d.Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("dial with one refusal failed: %v", err)
+	}
+	defer func() { _ = sess.Close() }()
+	if refusals != 1 {
+		t.Errorf("refusals = %d, want 1", refusals)
+	}
+}
+
+func mustAddr(t *testing.T) netip.AddrPort {
+	t.Helper()
+	return netip.MustParseAddrPort("127.0.0.1:1")
+}

@@ -30,6 +30,12 @@ const (
 	DefaultDialTimeout = 2 * time.Second
 	// DefaultIOTimeout bounds individual reads and writes.
 	DefaultIOTimeout = 5 * time.Second
+	// DefaultDialRetries is how many extra connection attempts a Dialer
+	// makes after a transient failure (refused/reset/timeout).
+	DefaultDialRetries = 2
+	// DefaultRetryBackoff is the delay before the first retry; it doubles
+	// on each further attempt.
+	DefaultRetryBackoff = 100 * time.Millisecond
 )
 
 // ServerConfig parameterizes a reachable TCP endpoint.
