@@ -1,0 +1,155 @@
+// Command benchguard compares `go test -bench` output against a JSON
+// baseline and fails when any benchmark regresses beyond a tolerance.
+// It is the CI tripwire for the hot paths the observability layer
+// instruments: a counter increment or histogram observation that gets
+// slower silently taxes every simulated message.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . ./internal/obs/ | benchguard -baseline BENCH_baseline.json
+//	go test -run '^$' -bench . ./internal/obs/ | benchguard -baseline BENCH_baseline.json -update
+//
+// With -update the baseline file is rewritten from the observed run
+// instead of being enforced. Benchmarks present in the output but not
+// in the baseline are reported and pass (new benchmarks should not
+// break CI); baseline entries missing from the output fail, so a
+// deleted benchmark forces a deliberate baseline update.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Baseline is the persisted benchmark reference: benchmark name (with
+// the GOMAXPROCS -N suffix stripped) to nanoseconds per operation.
+type Baseline struct {
+	// Note documents how to regenerate the file.
+	Note string `json:"note"`
+	// NsPerOp maps benchmark name to the reference ns/op.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+// benchLine matches standard `go test -bench` result lines, e.g.
+// "BenchmarkCounterInc-8   92441530   12.95 ns/op   0 B/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?\d+)?) ns/op`)
+
+// parseBench extracts name→ns/op pairs from go test -bench output.
+// When a benchmark appears more than once (e.g. -count=3), the minimum
+// is kept: the fastest run is the least noisy estimate of the true cost.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchguard: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+// compare checks observed results against the baseline. It returns
+// human-readable problem descriptions; empty means the guard passes.
+func compare(base, got map[string]float64, tolerance float64) []string {
+	var problems []string
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ref := base[name]
+		ns, ok := got[name]
+		if !ok {
+			problems = append(problems,
+				fmt.Sprintf("%s: in baseline but missing from bench output", name))
+			continue
+		}
+		if ref > 0 && ns > ref*(1+tolerance) {
+			problems = append(problems,
+				fmt.Sprintf("%s: %.2f ns/op exceeds baseline %.2f ns/op by more than %.0f%%",
+					name, ns, ref, 100*tolerance))
+		}
+	}
+	return problems
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline JSON file")
+		tolerance    = flag.Float64("tolerance", 0.25, "allowed fractional slowdown before failing")
+		update       = flag.Bool("update", false, "rewrite the baseline from this run instead of enforcing it")
+	)
+	flag.Parse()
+
+	got, err := parseBench(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if len(got) == 0 {
+		return fmt.Errorf("no benchmark results on stdin (pipe `go test -bench` output in)")
+	}
+
+	if *update {
+		b := Baseline{
+			Note:    "regenerate: go test -run '^$' -bench . ./internal/obs/ | go run ./cmd/benchguard -baseline BENCH_baseline.json -update",
+			NsPerOp: got,
+		}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("benchguard: wrote %d benchmarks to %s\n", len(got), *baselinePath)
+		return nil
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", *baselinePath, err)
+	}
+
+	problems := compare(base.NsPerOp, got, *tolerance)
+	for name := range got {
+		if _, ok := base.NsPerOp[name]; !ok {
+			fmt.Printf("benchguard: %s is new (not in baseline); add it with -update\n", name)
+		}
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "benchguard: FAIL:", p)
+		}
+		return fmt.Errorf("%d benchmark regression(s)", len(problems))
+	}
+	fmt.Printf("benchguard: %d benchmarks within %.0f%% of baseline\n",
+		len(base.NsPerOp), 100**tolerance)
+	return nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/obs
+BenchmarkCounterInc-8      	92441530	        12.95 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHistogramObserve-8	29812345	        40.10 ns/op
+BenchmarkTracerEmit-8      	 1000000	      1050 ns/op
+BenchmarkCounterInc-8      	90000000	        13.20 ns/op
+PASS
+ok  	repro/internal/obs	5.123s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkCounterInc":       12.95, // min of the two runs
+		"BenchmarkHistogramObserve": 40.10,
+		"BenchmarkTracerEmit":       1050,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v ns/op, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func TestParseBenchIgnoresNoise(t *testing.T) {
+	got, err := parseBench(strings.NewReader("random text\nFAIL\n--- BenchmarkNot a result\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed %d benchmarks from noise: %v", len(got), got)
+	}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	base := map[string]float64{"BenchmarkX": 100}
+	if p := compare(base, map[string]float64{"BenchmarkX": 124}, 0.25); len(p) != 0 {
+		t.Errorf("24%% slowdown should pass at 25%% tolerance: %v", p)
+	}
+	if p := compare(base, map[string]float64{"BenchmarkX": 80}, 0.25); len(p) != 0 {
+		t.Errorf("speedup should always pass: %v", p)
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	base := map[string]float64{"BenchmarkX": 100, "BenchmarkY": 10}
+	p := compare(base, map[string]float64{"BenchmarkX": 130, "BenchmarkY": 10}, 0.25)
+	if len(p) != 1 || !strings.Contains(p[0], "BenchmarkX") {
+		t.Fatalf("30%% slowdown should fail exactly once: %v", p)
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	base := map[string]float64{"BenchmarkGone": 50}
+	p := compare(base, map[string]float64{}, 0.25)
+	if len(p) != 1 || !strings.Contains(p[0], "missing") {
+		t.Fatalf("baseline entry absent from output should fail: %v", p)
+	}
+}
+
+func TestCompareNewBenchmarkPasses(t *testing.T) {
+	p := compare(map[string]float64{}, map[string]float64{"BenchmarkNew": 5}, 0.25)
+	if len(p) != 0 {
+		t.Fatalf("benchmark not in baseline should not fail the guard: %v", p)
+	}
+}

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	btccrawl [-scale 0.05] [-seed 1] [-day 10] [-scan] [-malicious]
+//	         [-pprof] [-pprof-addr 127.0.0.1:6060]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/crawler"
 	"repro/internal/netgen"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -32,8 +34,19 @@ func run() error {
 		day       = flag.Int("day", 10, "crawl day within the 60-day horizon")
 		scan      = flag.Bool("scan", false, "also run the responsive scan (Algorithm 2)")
 		malicious = flag.Bool("malicious", false, "report suspected ADDR flooders")
+		pprof     = flag.Bool("pprof", false, "serve net/http/pprof profiles while the crawl runs")
+		pprofAddr = flag.String("pprof-addr", "127.0.0.1:6060", "pprof listen address (with -pprof; port 0 picks a free port)")
 	)
 	flag.Parse()
+
+	if *pprof {
+		srv, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		defer srv.Close()
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", srv.Addr)
+	}
 
 	params := netgen.DefaultParams(*seed, *scale)
 	fmt.Printf("generating universe (scale %.2f)...\n", *scale)

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	btcsim [-nodes 120] [-hours 4] [-churn 1.5] [-policy round-robin]
-//	       [-txs 100] [-compact] [-seed 1]
+//	       [-txs 100] [-compact] [-seed 1] [-pprof] [-pprof-addr 127.0.0.1:6060]
 //
 // The relay policy is one of round-robin (Bitcoin Core's behaviour),
 // broadcast (the theoretical ideal), or priority (the paper's §V
@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -31,15 +32,26 @@ func main() {
 
 func run() error {
 	var (
-		nodes   = flag.Int("nodes", 120, "reachable full nodes")
-		hours   = flag.Float64("hours", 4, "measured virtual hours")
-		churn   = flag.Float64("churn", 1.5, "node departures per 10 virtual minutes")
-		policy  = flag.String("policy", "round-robin", "relay policy: round-robin | broadcast | priority")
-		txs     = flag.Int("txs", 100, "background transactions per block interval")
-		compact = flag.Bool("compact", false, "use BIP-152 compact block relay")
-		seed    = flag.Int64("seed", 1, "random seed")
+		nodes     = flag.Int("nodes", 120, "reachable full nodes")
+		hours     = flag.Float64("hours", 4, "measured virtual hours")
+		churn     = flag.Float64("churn", 1.5, "node departures per 10 virtual minutes")
+		policy    = flag.String("policy", "round-robin", "relay policy: round-robin | broadcast | priority")
+		txs       = flag.Int("txs", 100, "background transactions per block interval")
+		compact   = flag.Bool("compact", false, "use BIP-152 compact block relay")
+		seed      = flag.Int64("seed", 1, "random seed")
+		pprof     = flag.Bool("pprof", false, "serve net/http/pprof profiles while the simulation runs")
+		pprofAddr = flag.String("pprof-addr", "127.0.0.1:6060", "pprof listen address (with -pprof; port 0 picks a free port)")
 	)
 	flag.Parse()
+
+	if *pprof {
+		srv, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		defer srv.Close()
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", srv.Addr)
+	}
 
 	var relay node.RelayPolicy
 	switch *policy {

@@ -21,6 +21,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/netgen"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -64,13 +65,16 @@ func run() error {
 	case *all:
 		start := time.Now()
 		for _, e := range core.Experiments() {
+			stop := obs.StartProfile()
 			rep, err := e.Run(opts)
 			if err != nil {
 				return fmt.Errorf("%s: %w", e.ID, err)
 			}
+			rep.Profile = stop()
 			if err := rep.Render(os.Stdout); err != nil {
 				return err
 			}
+			fmt.Fprintf(os.Stderr, "  profile: %s\n", rep.Profile)
 			fmt.Println()
 			if *csvDir != "" {
 				if err := rep.WriteCSV(*csvDir); err != nil {
@@ -88,13 +92,16 @@ func run() error {
 			if !ok {
 				return fmt.Errorf("unknown experiment %q (use -list)", one)
 			}
+			stop := obs.StartProfile()
 			rep, err := e.Run(opts)
 			if err != nil {
 				return err
 			}
+			rep.Profile = stop()
 			if err := rep.Render(os.Stdout); err != nil {
 				return err
 			}
+			fmt.Fprintf(os.Stderr, "  profile: %s\n", rep.Profile)
 			fmt.Println()
 			if *csvDir != "" {
 				if err := rep.WriteCSV(*csvDir); err != nil {

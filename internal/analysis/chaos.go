@@ -7,8 +7,8 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/simnet"
-	"repro/internal/stats"
 	"repro/internal/wire"
 )
 
@@ -116,7 +116,18 @@ type ChaosResult struct {
 	// node was back at the tip (0 when that never happened).
 	RecoveryTime time.Duration
 	// FaultCounters is the injector's sorted counter snapshot.
-	FaultCounters []stats.Counter
+	FaultCounters []obs.NamedValue
+	// Metrics is the run's full registry snapshot: scheduler, network,
+	// node, and fault metrics in one name-sorted view. MetricsText is
+	// its deterministic rendering — two same-seed runs produce
+	// byte-identical text (the determinism golden tests pin this).
+	Metrics     *obs.Snapshot
+	MetricsText string
+	// TraceDigest is the event tracer's running digest over every dial,
+	// handshake, relay, block-download, and fault event of the run;
+	// TraceTotal counts them. Same-seed runs produce equal digests.
+	TraceDigest string
+	TraceTotal  uint64
 	// Health aggregates every node's robustness counters.
 	Health node.HealthStats
 	// PersistentShare is the fraction of crash-tracked nodes present in
@@ -131,7 +142,12 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	if cfg.NumNodes < 4 {
 		return nil, fmt.Errorf("analysis: chaos needs at least 4 nodes, got %d", cfg.NumNodes)
 	}
-	net := simnet.New(simnet.Config{Seed: cfg.Seed})
+	// One private registry and tracer per run: the snapshot and digest
+	// are then pure functions of the seed, never polluted by concurrent
+	// experiments.
+	reg := obs.NewRegistry()
+	net := simnet.New(simnet.Config{Seed: cfg.Seed, Metrics: reg})
+	tracer := obs.NewTracer(0, net.Now)
 	sched := net.Scheduler()
 	genesis := chainGenesis("chaos")
 	inj := faults.New(net, faults.Config{Seed: cfg.Seed, Default: faults.Profile{
@@ -140,7 +156,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		SpikeMin:  200 * time.Millisecond,
 		SpikeMax:  2 * time.Second,
 		Duplicate: cfg.Duplicate,
-	}})
+	}, Metrics: reg, Tracer: tracer})
 
 	addrs := make([]netip.AddrPort, cfg.NumNodes)
 	for i := range addrs {
@@ -164,6 +180,8 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 			Reachable: true,
 			Genesis:   genesis,
 			SeedAddrs: seedsFor(a),
+			Metrics:   reg,
+			Tracer:    tracer,
 		}).Start()
 	}
 	miner := addrs[0]
@@ -268,6 +286,11 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	res.FaultCounters = inj.Counters()
 	if m := inj.PresenceMatrix(time.Minute); m.Rows() > 0 {
 		res.PersistentShare = float64(m.PersistentCount()) / float64(m.Rows())
+		m.Publish(reg)
 	}
+	res.Metrics = reg.Snapshot()
+	res.MetricsText = res.Metrics.String()
+	res.TraceDigest = tracer.Digest()
+	res.TraceTotal = tracer.Total()
 	return res, nil
 }

@@ -79,3 +79,58 @@ func TestSeedChangesOutcome(t *testing.T) {
 		t.Error("different seeds produced identical trajectories")
 	}
 }
+
+// TestChaosObservabilityGolden is the determinism golden test for the
+// observability layer: two chaos runs with the same seed must emit a
+// byte-identical metrics snapshot and the same trace digest, and a
+// different seed must change the digest. Any nondeterminism smuggled
+// into a metric or trace point (map iteration, wall-clock reads) fails
+// here before it can corrupt a published figure.
+func TestChaosObservabilityGolden(t *testing.T) {
+	cfg := ChaosConfig{
+		Seed:     41,
+		NumNodes: 8,
+		Duration: 25 * time.Minute,
+		Drop:     0.05,
+		Spike:    0.02,
+		CrashAt:  8 * time.Minute,
+		CrashFor: 4 * time.Minute,
+	}
+	a, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MetricsText == "" {
+		t.Fatal("chaos run produced an empty metrics snapshot")
+	}
+	if a.MetricsText != b.MetricsText {
+		t.Errorf("same-seed metrics snapshots differ:\n--- run A ---\n%s\n--- run B ---\n%s",
+			a.MetricsText, b.MetricsText)
+	}
+	if a.TraceDigest != b.TraceDigest {
+		t.Errorf("same-seed trace digests differ: %s vs %s",
+			a.TraceDigest, b.TraceDigest)
+	}
+	if a.TraceTotal == 0 {
+		t.Error("chaos run emitted no trace events")
+	}
+	if a.TraceTotal != b.TraceTotal {
+		t.Errorf("same-seed trace totals differ: %d vs %d", a.TraceTotal, b.TraceTotal)
+	}
+
+	cfg.Seed = 42
+	c, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TraceDigest == a.TraceDigest {
+		t.Error("different seeds produced the same trace digest")
+	}
+	if c.MetricsText == a.MetricsText {
+		t.Error("different seeds produced identical metrics snapshots")
+	}
+}

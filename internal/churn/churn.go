@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/netgen"
+	"repro/internal/obs"
 )
 
 // Matrix is the binary presence matrix M of Algorithm 4: one row per
@@ -84,6 +85,24 @@ func FromUniverse(u *netgen.Universe, interval time.Duration) *Matrix {
 		m.rows[i] = row
 	}
 	return m
+}
+
+// Publish exports the matrix's §IV-D summary statistics as gauges into
+// reg (churn.* names): row/column dimensions, the persistent-node count,
+// the mean lifetime in seconds, and the mean arrival/departure rates per
+// sampling interval (scaled ×1000 to fit the integer gauge). A nil
+// registry is a no-op.
+func (m *Matrix) Publish(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("churn.matrix.rows").Set(int64(m.Rows()))
+	reg.Gauge("churn.matrix.cols").Set(int64(m.Cols()))
+	reg.Gauge("churn.persistent").Set(int64(m.PersistentCount()))
+	reg.Gauge("churn.lifetime.mean.seconds").Set(int64(m.MeanLifetime() / time.Second))
+	tr := m.Transitions()
+	reg.Gauge("churn.departures.mean.x1000").Set(int64(tr.MeanDepartures() * 1000))
+	reg.Gauge("churn.arrivals.mean.x1000").Set(int64(tr.MeanArrivals() * 1000))
 }
 
 // At reports M[i][j].

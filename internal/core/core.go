@@ -10,6 +10,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Options tune an experiment run.
@@ -78,6 +80,12 @@ type Report struct {
 	Tables []Table
 	// Notes carries free-form commentary (calibration caveats etc.).
 	Notes []string
+	// Profile is the run's wall/alloc measurement, filled by RunAll (or
+	// any harness that wraps Run with obs.StartProfile). Render omits it
+	// and WriteCSV never sees it: wall time is nondeterministic, and both
+	// surfaces promise byte-identical output for identical seeds. CLI
+	// front-ends print it to stderr instead.
+	Profile obs.Profile
 }
 
 // AddMetric appends a metric.
@@ -229,13 +237,16 @@ func ByID(id string) (Experiment, bool) {
 }
 
 // RunAll executes every experiment, rendering each to w as it completes.
-// It returns the first error.
+// Each run is wrapped in an obs profile, so every report carries its
+// wall time and allocator footprint. It returns the first error.
 func RunAll(opts Options, w io.Writer) error {
 	for _, e := range Experiments() {
+		stop := obs.StartProfile()
 		rep, err := e.Run(opts)
 		if err != nil {
 			return fmt.Errorf("core: %s: %w", e.ID, err)
 		}
+		rep.Profile = stop()
 		if err := rep.Render(w); err != nil {
 			return err
 		}

@@ -55,11 +55,22 @@ func chaosExperiment() Experiment {
 			rep.AddMetricf("dial backoffs armed",
 				float64(res.Health.BackoffsArmed), "%.0f", "")
 
+			rep.AddMetric("trace digest", res.TraceDigest, "")
+			rep.AddMetricf("trace events", float64(res.TraceTotal), "%.0f", "")
+
 			t := Table{Name: "fault-counters", Header: []string{"counter", "count"}}
 			for _, c := range res.FaultCounters {
 				t.Rows = append(t.Rows, []string{c.Name, fmt.Sprint(c.Value)})
 			}
 			rep.Tables = append(rep.Tables, t)
+
+			// Full registry snapshot as a CSV sidecar: scheduler, dial,
+			// transmit, node-health, and churn series in one table. Named
+			// obs-metrics: WriteCSV reserves <id>_metrics.csv for the
+			// report's own metric list.
+			mt := Table{Name: "obs-metrics", Header: []string{"kind", "name", "value"}}
+			mt.Rows = res.Metrics.Rows()
+			rep.Tables = append(rep.Tables, mt)
 			rep.Notes = append(rep.Notes,
 				"fault schedule and trace are fully determined by the seed (same seed → identical run)",
 				"the scenario heals and disables faults before the end; convergence demonstrates the recovery machinery, not fault-free luck")

@@ -18,6 +18,7 @@ import (
 	"net/netip"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -81,6 +82,10 @@ type Config struct {
 	MaxGetAddrRounds int
 	// MaxNodes caps how many reachable nodes are crawled (0 = no cap).
 	MaxNodes int
+	// Metrics, when set, receives the crawl reachability series
+	// (crawl.* counters: dials, connections, GETADDR rounds, address
+	// composition). Nil disables instrumentation.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -129,11 +134,30 @@ type Snapshot struct {
 type Crawler struct {
 	cfg    Config
 	dialer Dialer
+
+	// Metric handles, nil-safe no-ops when Config.Metrics is nil.
+	mDials        *obs.Counter
+	mConnected    *obs.Counter
+	mRounds       *obs.Counter
+	mAddrsTotal   *obs.Counter
+	mAddrsReach   *obs.Counter
+	mAddrsUnreach *obs.Counter
 }
 
 // New creates a crawler over the given dialer.
 func New(cfg Config, dialer Dialer) *Crawler {
-	return &Crawler{cfg: cfg.withDefaults(), dialer: dialer}
+	cfg = cfg.withDefaults()
+	return &Crawler{
+		cfg:    cfg,
+		dialer: dialer,
+
+		mDials:        cfg.Metrics.Counter("crawl.dials"),
+		mConnected:    cfg.Metrics.Counter("crawl.connected"),
+		mRounds:       cfg.Metrics.Counter("crawl.getaddr.rounds"),
+		mAddrsTotal:   cfg.Metrics.Counter("crawl.addrs.total"),
+		mAddrsReach:   cfg.Metrics.Counter("crawl.addrs.reachable"),
+		mAddrsUnreach: cfg.Metrics.Counter("crawl.addrs.unreachable"),
+	}
 }
 
 // Crawl runs Algorithm 1 against every address in targets: connect, issue
@@ -154,6 +178,7 @@ func (c *Crawler) Crawl(at time.Time, targets []netip.AddrPort,
 			break
 		}
 		snap.Dialed++
+		c.mDials.Inc()
 		report := &NodeReport{Addr: target}
 		snap.Reports[target] = report
 		sess, err := c.dialer.Dial(target)
@@ -161,6 +186,7 @@ func (c *Crawler) Crawl(at time.Time, targets []netip.AddrPort,
 			continue
 		}
 		report.Connected = true
+		c.mConnected.Inc()
 		snap.Connected = append(snap.Connected, target)
 		c.drainNode(sess, report, knownReachable, snap.Unreachable)
 		if err := sess.Close(); err != nil {
@@ -181,6 +207,7 @@ func (c *Crawler) drainNode(sess Session, report *NodeReport,
 			return
 		}
 		report.Rounds++
+		c.mRounds.Inc()
 		fresh := 0
 		for _, na := range addrs {
 			if _, dup := seen[na.Addr]; dup {
@@ -189,13 +216,16 @@ func (c *Crawler) drainNode(sess Session, report *NodeReport,
 			seen[na.Addr] = struct{}{}
 			fresh++
 			report.TotalSent++
+			c.mAddrsTotal.Inc()
 			if na.Addr == report.Addr {
 				report.SentOwnAddr = true
 			}
 			if _, ok := knownReachable[na.Addr]; ok {
 				report.ReachableSent++
+				c.mAddrsReach.Inc()
 			} else {
 				report.UnreachableSent++
+				c.mAddrsUnreach.Inc()
 				unreachable[na.Addr] = struct{}{}
 			}
 		}

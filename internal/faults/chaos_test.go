@@ -5,8 +5,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simnet"
-	"repro/internal/stats"
 )
 
 // The chaos suite is the tentpole acceptance test: a network subjected to
@@ -22,7 +22,8 @@ type chaosResult struct {
 	synced   []bool
 	tipMatch []bool
 	trace    []TraceEvent
-	counters []stats.Counter
+	digest   string
+	counters []obs.NamedValue
 }
 
 // runChaosScenario drives the full scenario at the given seed:
@@ -69,6 +70,7 @@ func runChaosScenario(t *testing.T, seed int64) chaosResult {
 	tip, wantHeight := net.Host(miner).Node().Chain().Tip()
 	res := chaosResult{
 		trace:    inj.Trace(),
+		digest:   inj.TraceDigest(),
 		counters: inj.Counters(),
 	}
 	for _, a := range addrs {
@@ -99,21 +101,22 @@ func TestChaosNetworkReconverges(t *testing.T) {
 		}
 	}
 	// The scenario must actually have exercised the fault machinery.
-	var c stats.Counters
+	c := make(map[string]int64, len(res.counters))
 	for _, ctr := range res.counters {
-		c.Add(ctr.Name, ctr.Value)
+		c[ctr.Name] = ctr.Value
 	}
 	for _, name := range []string{
-		"transmit.dropped", "transmit.spiked", "transmit.duplicated",
-		"transmit.blocked", "partition", "heal", "crash", "restart",
+		"faults.transmit.dropped", "faults.transmit.spiked",
+		"faults.transmit.duplicated", "faults.transmit.blocked",
+		"faults.partition", "faults.heal", "faults.crash", "faults.restart",
 	} {
-		if c.Get(name) == 0 {
+		if c[name] == 0 {
 			t.Errorf("counter %q = 0 — scenario never exercised it", name)
 		}
 	}
-	if c.Get("crash") != 2 || c.Get("restart") != 2 {
+	if c["faults.crash"] != 2 || c["faults.restart"] != 2 {
 		t.Errorf("crash/restart = %d/%d, want 2/2",
-			c.Get("crash"), c.Get("restart"))
+			c["faults.crash"], c["faults.restart"])
 	}
 }
 
@@ -122,6 +125,10 @@ func TestChaosScenarioIsSeedReproducible(t *testing.T) {
 	b := runChaosScenario(t, 7_777)
 	if !reflect.DeepEqual(a.trace, b.trace) {
 		t.Error("same-seed runs produced different fault traces")
+	}
+	if a.digest != b.digest {
+		t.Errorf("same-seed runs produced different trace digests: %s vs %s",
+			a.digest, b.digest)
 	}
 	if !reflect.DeepEqual(a.counters, b.counters) {
 		t.Error("same-seed runs produced different counters")
@@ -133,6 +140,9 @@ func TestChaosScenarioIsSeedReproducible(t *testing.T) {
 	c := runChaosScenario(t, 7_778)
 	if reflect.DeepEqual(a.trace, c.trace) {
 		t.Error("different seeds produced the identical fault trace")
+	}
+	if a.digest == c.digest {
+		t.Error("different seeds produced the identical trace digest")
 	}
 }
 

@@ -22,10 +22,11 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
+	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simnet"
-	"repro/internal/stats"
 	"repro/internal/wire"
 )
 
@@ -62,29 +63,44 @@ type Config struct {
 	Seed int64
 	// Default is the profile applied to links without an override.
 	Default Profile
-	// TraceLimit bounds the retained trace (default 20000); events past
-	// the limit are dropped but still counted.
+	// TraceLimit bounds the retained trace ring when the injector builds
+	// its own tracer (default obs.DefaultTraceCapacity); events past the
+	// limit are evicted oldest-first but still counted and digested.
+	// Ignored when Tracer is provided.
 	TraceLimit int
+	// Metrics, when set, hosts the fault counters (faults.* names) so
+	// one registry covers the whole experiment. When nil the injector
+	// keeps a private registry — Counters and CounterValue still work.
+	Metrics *obs.Registry
+	// Tracer, when set, receives the fault events, interleaving them
+	// with node and network events in one timeline. When nil the
+	// injector keeps a private ring sized by TraceLimit.
+	Tracer *obs.Tracer
 }
 
-// TraceEvent is one recorded fault or scenario action. Traces from two
-// same-seed runs of a deterministic scenario compare equal.
-type TraceEvent struct {
-	// Time is the virtual time of the event.
-	Time time.Time
-	// Kind labels the event: drop, dup, spike, dial-refuse, blocked,
-	// dial-blocked, partition, heal, blackhole, restore, crash, restart.
-	Kind string
-	// From and To are the endpoints, when applicable.
-	From, To netip.AddrPort
-	// Detail carries the message command or extra context.
-	Detail string
-}
+// TraceEvent is one recorded fault or scenario action — an alias of the
+// observability layer's event record, so fault events interleave with
+// node spans in one shared trace. Traces from two same-seed runs of a
+// deterministic scenario compare equal. Kinds emitted here: drop, dup,
+// spike, dial-refuse, blocked, dial-blocked, partition, heal, blackhole,
+// restore, crash, restart.
+type TraceEvent = obs.Event
 
-// String renders the event compactly.
-func (e TraceEvent) String() string {
-	return fmt.Sprintf("%s %s %v->%v %s",
-		e.Time.Format("15:04:05.000"), e.Kind, e.From, e.To, e.Detail)
+// faultCounterNames lists every counter the injector maintains, sorted;
+// Counters walks it so snapshots stay sorted without a per-call sort.
+var faultCounterNames = []string{
+	"faults.blackhole",
+	"faults.crash",
+	"faults.dial.blocked",
+	"faults.dial.refused",
+	"faults.heal",
+	"faults.partition",
+	"faults.restart",
+	"faults.restore",
+	"faults.transmit.blocked",
+	"faults.transmit.dropped",
+	"faults.transmit.duplicated",
+	"faults.transmit.spiked",
 }
 
 // linkKey identifies an unordered address pair.
@@ -115,9 +131,8 @@ type Injector struct {
 	// directions, modelling a fully black-holed route to the host.
 	blackholed map[netip.Addr]bool
 
-	counters     stats.Counters
-	trace        []TraceEvent
-	traceDropped int
+	counters map[string]*obs.Counter
+	tracer   *obs.Tracer
 
 	// Crash/restart presence tracking for PresenceMatrix.
 	start   time.Time
@@ -135,7 +150,21 @@ var _ simnet.Injector = (*Injector)(nil)
 // New creates an injector and installs it on the network.
 func New(net *simnet.Network, cfg Config) *Injector {
 	if cfg.TraceLimit == 0 {
-		cfg.TraceLimit = 20000
+		cfg.TraceLimit = obs.DefaultTraceCapacity
+	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.NewTracer(cfg.TraceLimit, net.Now)
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		// Private registry: the injector's own bookkeeping still works
+		// when the caller has no experiment-wide registry.
+		reg = obs.NewRegistry()
+	}
+	counters := make(map[string]*obs.Counter, len(faultCounterNames))
+	for _, name := range faultCounterNames {
+		counters[name] = reg.Counter(name)
 	}
 	inj := &Injector{
 		net:        net,
@@ -144,6 +173,8 @@ func New(net *simnet.Network, cfg Config) *Injector {
 		links:      make(map[linkKey]Profile),
 		groups:     make(map[netip.Addr]int),
 		blackholed: make(map[netip.Addr]bool),
+		counters:   counters,
+		tracer:     tracer,
 		start:      net.Now(),
 		isDown:     make(map[netip.AddrPort]bool),
 		down:       make(map[netip.AddrPort][]downInterval),
@@ -177,7 +208,7 @@ func (inj *Injector) Partition(groups ...[]netip.AddrPort) {
 			inj.groups[a.Addr()] = i + 1
 		}
 	}
-	inj.counters.Inc("partition")
+	inj.inc("faults.partition")
 	inj.record(TraceEvent{
 		Time: inj.net.Now(), Kind: "partition",
 		Detail: fmt.Sprintf("groups=%d", len(groups)),
@@ -187,7 +218,7 @@ func (inj *Injector) Partition(groups ...[]netip.AddrPort) {
 // Heal removes the active partition.
 func (inj *Injector) Heal() {
 	inj.groups = make(map[netip.Addr]int)
-	inj.counters.Inc("heal")
+	inj.inc("faults.heal")
 	inj.record(TraceEvent{Time: inj.net.Now(), Kind: "heal"})
 }
 
@@ -196,7 +227,7 @@ func (inj *Injector) Heal() {
 // host looks alive to itself and dead to everyone else.
 func (inj *Injector) Blackhole(addr netip.Addr) {
 	inj.blackholed[addr] = true
-	inj.counters.Inc("blackhole")
+	inj.inc("faults.blackhole")
 	inj.record(TraceEvent{
 		Time: inj.net.Now(), Kind: "blackhole",
 		From: netip.AddrPortFrom(addr, 0),
@@ -206,7 +237,7 @@ func (inj *Injector) Blackhole(addr netip.Addr) {
 // Restore lifts a Blackhole.
 func (inj *Injector) Restore(addr netip.Addr) {
 	delete(inj.blackholed, addr)
-	inj.counters.Inc("restore")
+	inj.inc("faults.restore")
 	inj.record(TraceEvent{
 		Time: inj.net.Now(), Kind: "restore",
 		From: netip.AddrPortFrom(addr, 0),
@@ -237,7 +268,7 @@ func (inj *Injector) FilterDial(from, to netip.AddrPort) simnet.DialVerdict {
 		return simnet.DialProceed
 	}
 	if inj.blocked(from, to) {
-		inj.counters.Inc("dial.blocked")
+		inj.inc("faults.dial.blocked")
 		inj.record(TraceEvent{
 			Time: inj.net.Now(), Kind: "dial-blocked", From: from, To: to,
 		})
@@ -245,7 +276,7 @@ func (inj *Injector) FilterDial(from, to netip.AddrPort) simnet.DialVerdict {
 	}
 	p := inj.profileFor(from, to)
 	if p.DialFail > 0 && inj.rng.Float64() < p.DialFail {
-		inj.counters.Inc("dial.refused")
+		inj.inc("faults.dial.refused")
 		inj.record(TraceEvent{
 			Time: inj.net.Now(), Kind: "dial-refuse", From: from, To: to,
 		})
@@ -260,7 +291,7 @@ func (inj *Injector) FilterTransmit(from, to netip.AddrPort, msg wire.Message) s
 		return simnet.TransmitVerdict{}
 	}
 	if inj.blocked(from, to) {
-		inj.counters.Inc("transmit.blocked")
+		inj.inc("faults.transmit.blocked")
 		inj.record(TraceEvent{
 			Time: inj.net.Now(), Kind: "blocked", From: from, To: to,
 			Detail: msg.Command(),
@@ -272,7 +303,7 @@ func (inj *Injector) FilterTransmit(from, to netip.AddrPort, msg wire.Message) s
 		return simnet.TransmitVerdict{}
 	}
 	if p.Drop > 0 && inj.rng.Float64() < p.Drop {
-		inj.counters.Inc("transmit.dropped")
+		inj.inc("faults.transmit.dropped")
 		inj.record(TraceEvent{
 			Time: inj.net.Now(), Kind: "drop", From: from, To: to,
 			Detail: msg.Command(),
@@ -287,7 +318,7 @@ func (inj *Injector) FilterTransmit(from, to netip.AddrPort, msg wire.Message) s
 			extra += time.Duration(inj.rng.Int63n(int64(span)))
 		}
 		verdict.ExtraDelay = extra
-		inj.counters.Inc("transmit.spiked")
+		inj.inc("faults.transmit.spiked")
 		inj.record(TraceEvent{
 			Time: inj.net.Now(), Kind: "spike", From: from, To: to,
 			Detail: fmt.Sprintf("%s +%v", msg.Command(), extra),
@@ -299,7 +330,7 @@ func (inj *Injector) FilterTransmit(from, to netip.AddrPort, msg wire.Message) s
 		if verdict.DuplicateDelay == 0 {
 			verdict.DuplicateDelay = 50 * time.Millisecond
 		}
-		inj.counters.Inc("transmit.duplicated")
+		inj.inc("faults.transmit.duplicated")
 		inj.record(TraceEvent{
 			Time: inj.net.Now(), Kind: "dup", From: from, To: to,
 			Detail: msg.Command(),
@@ -308,22 +339,54 @@ func (inj *Injector) FilterTransmit(from, to netip.AddrPort, msg wire.Message) s
 	return verdict
 }
 
-// record appends a trace event, bounded by TraceLimit.
-func (inj *Injector) record(ev TraceEvent) {
-	if len(inj.trace) >= inj.cfg.TraceLimit {
-		inj.traceDropped++
-		inj.counters.Inc("trace.dropped")
-		return
+// inc bumps one of the pre-registered fault counters.
+func (inj *Injector) inc(name string) { inj.counters[name].Inc() }
+
+// record emits a trace event into the (possibly shared) tracer.
+func (inj *Injector) record(ev TraceEvent) { inj.tracer.Emit(ev) }
+
+// Trace returns the retained trace events, oldest first. With a shared
+// Config.Tracer the slice interleaves fault events with whatever else
+// the experiment traced; the ring bounds retention, but TraceDigest
+// still covers everything ever emitted.
+func (inj *Injector) Trace() []TraceEvent { return inj.tracer.Events() }
+
+// TraceDigest returns the tracer's running digest over every event ever
+// emitted — the compact same-seed comparison handle (ring eviction does
+// not change it).
+func (inj *Injector) TraceDigest() string { return inj.tracer.Digest() }
+
+// Tracer exposes the event tracer (shared or private).
+func (inj *Injector) Tracer() *obs.Tracer { return inj.tracer }
+
+// Counters returns a name-sorted snapshot of the fault counters. The
+// order is fixed at compile time (faultCounterNames), so no allocation
+// beyond the result and no sorting happens per call — and with a shared
+// Config.Metrics registry only the fault layer's own counters are
+// returned, never the rest of the experiment's.
+func (inj *Injector) Counters() []obs.NamedValue {
+	out := make([]obs.NamedValue, len(faultCounterNames))
+	for i, name := range faultCounterNames {
+		out[i] = obs.NamedValue{Name: name, Value: inj.counters[name].Value()}
 	}
-	inj.trace = append(inj.trace, ev)
+	return out
 }
 
-// Trace returns the recorded events (bounded by Config.TraceLimit).
-func (inj *Injector) Trace() []TraceEvent { return inj.trace }
+// CounterValue returns one fault counter by its registry name
+// ("faults.crash", "faults.transmit.dropped", …). Unknown names read 0.
+func (inj *Injector) CounterValue(name string) int64 {
+	return inj.counters[name].Value()
+}
 
-// Counters returns a sorted snapshot of the fault counters.
-func (inj *Injector) Counters() []stats.Counter { return inj.counters.Snapshot() }
-
-// CountersString renders the counters as a deterministic one-line
-// summary, suitable for reports and same-seed comparisons.
-func (inj *Injector) CountersString() string { return inj.counters.String() }
+// CountersString renders the non-zero counters as a deterministic
+// one-line "name=value" summary, suitable for reports and same-seed
+// comparisons.
+func (inj *Injector) CountersString() string {
+	var parts []string
+	for _, nv := range inj.Counters() {
+		if nv.Value != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", nv.Name, nv.Value))
+		}
+	}
+	return strings.Join(parts, " ")
+}

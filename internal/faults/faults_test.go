@@ -72,7 +72,7 @@ func TestPartitionBlocksAndHeals(t *testing.T) {
 			}
 		}
 	}
-	if got := inj.counters.Get("dial.blocked"); got == 0 {
+	if got := inj.CounterValue("faults.dial.blocked"); got == 0 {
 		t.Error("partition never blocked a dial")
 	}
 
@@ -98,7 +98,7 @@ func TestDropProfileLosesMessages(t *testing.T) {
 	inj := New(net, Config{Seed: 2, Default: Profile{Drop: 0.3}})
 	buildMesh(net, 4)
 	net.Scheduler().RunFor(5 * time.Minute)
-	if got := inj.counters.Get("transmit.dropped"); got == 0 {
+	if got := inj.CounterValue("faults.transmit.dropped"); got == 0 {
 		t.Error("30% drop profile never dropped a message")
 	}
 }
@@ -127,9 +127,9 @@ func TestBlackholeSilencesHost(t *testing.T) {
 
 	victim := addrs[0]
 	inj.Blackhole(victim.Addr())
-	before := inj.counters.Get("transmit.blocked")
+	before := inj.CounterValue("faults.transmit.blocked")
 	net.Scheduler().RunFor(5 * time.Minute)
-	if inj.counters.Get("transmit.blocked") == before {
+	if inj.CounterValue("faults.transmit.blocked") == before {
 		t.Error("blackholed host's traffic was not blocked")
 	}
 	inj.Restore(victim.Addr())
@@ -151,9 +151,9 @@ func TestScheduleCrashAndPresenceMatrix(t *testing.T) {
 	if !net.Host(addrs[1]).Online() {
 		t.Fatal("host did not restart after outage")
 	}
-	if inj.counters.Get("crash") != 1 || inj.counters.Get("restart") != 1 {
+	if inj.CounterValue("faults.crash") != 1 || inj.CounterValue("faults.restart") != 1 {
 		t.Errorf("crash/restart counters = %d/%d, want 1/1",
-			inj.counters.Get("crash"), inj.counters.Get("restart"))
+			inj.CounterValue("faults.crash"), inj.CounterValue("faults.restart"))
 	}
 
 	m := inj.PresenceMatrix(time.Minute)

@@ -27,7 +27,7 @@ func (inj *Injector) ScheduleCrash(addr netip.AddrPort, at, downFor time.Duratio
 			return
 		}
 		h.Stop()
-		inj.counters.Inc("crash")
+		inj.inc("faults.crash")
 		inj.record(TraceEvent{Time: inj.net.Now(), Kind: "crash", From: addr})
 		inj.markDown(addr)
 		if downFor <= 0 {
@@ -35,7 +35,7 @@ func (inj *Injector) ScheduleCrash(addr netip.AddrPort, at, downFor time.Duratio
 		}
 		sched.After(downFor, func() {
 			h.Start()
-			inj.counters.Inc("restart")
+			inj.inc("faults.restart")
 			inj.record(TraceEvent{Time: inj.net.Now(), Kind: "restart", From: addr})
 			inj.markUp(addr)
 		})

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/chain"
 	"repro/internal/chainhash"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -82,6 +83,14 @@ func (n *Node) maybeCompleteHandshake(p *Peer) {
 		return
 	}
 	p.handshook = true
+	hsDur := n.env.Now().Sub(p.connected)
+	n.met.handshakeTime.ObserveDuration(hsDur)
+	if n.tracer != nil {
+		n.tracer.Emit(obs.Event{
+			Time: n.env.Now(), Kind: "handshake", From: n.cfg.Self.Addr,
+			To: p.addr, Detail: p.dir.String(), Dur: hsDur,
+		})
+	}
 	n.emit(Event{
 		Type: EvHandshake, Time: n.env.Now(), Node: n.cfg.Self.Addr,
 		Peer: p.addr, Dir: p.dir, Conn: p.id,
@@ -303,6 +312,16 @@ func (n *Node) announceTx(h chainhash.Hash, except ConnID, recvAt time.Time) {
 func (n *Node) handleBlock(p *Peer, m *wire.MsgBlock) {
 	h := m.BlockHash()
 	p.markKnown(h)
+	if f, ok := n.blocksInFlight[h]; ok {
+		dlDur := n.env.Now().Sub(f.requested)
+		n.met.blockDownload.ObserveDuration(dlDur)
+		if n.tracer != nil {
+			n.tracer.Emit(obs.Event{
+				Time: n.env.Now(), Kind: "block-download", From: p.addr,
+				To: n.cfg.Self.Addr, Detail: h.String()[:16], Dur: dlDur,
+			})
+		}
+	}
 	delete(n.blocksInFlight, h)
 	n.acceptAndRelayBlock(p, m)
 	n.continueSync(p)

@@ -110,6 +110,7 @@ func (n *Node) checkHandshakes(now time.Time) {
 	}
 	for _, p := range stale {
 		n.health.HandshakeEvictions++
+		n.met.handshakeEvict.Inc()
 		n.emit(Event{
 			Type: EvHandshakeTimeout, Time: now, Node: n.cfg.Self.Addr,
 			Peer: p.addr, Dir: p.dir, Conn: p.id,
@@ -149,11 +150,13 @@ func (n *Node) checkKeepalive(now time.Time) {
 			p.pingNonce = nonce
 			p.pingSent = now
 			n.health.PingsSent++
+			n.met.pingsSent.Inc()
 			n.queueMsg(p, &wire.MsgPing{Nonce: nonce}, classControl)
 		}
 	}
 	for _, p := range stalled {
 		n.health.StallEvictions++
+		n.met.stallEvict.Inc()
 		n.emit(Event{
 			Type: EvPeerStalled, Time: now, Node: n.cfg.Self.Addr,
 			Peer: p.addr, Dir: p.dir, Conn: p.id,
@@ -210,6 +213,7 @@ func (n *Node) checkBlockStalls(now time.Time) {
 			continue
 		}
 		n.health.BlockStallEvictions++
+		n.met.blockStallEvict.Inc()
 		n.emit(Event{
 			Type: EvBlockStalled, Time: now, Node: n.cfg.Self.Addr,
 			Peer: p.addr, Dir: p.dir, Conn: p.id, Hash: s.hash,
@@ -278,6 +282,7 @@ func (n *Node) armBackoff(addr netip.AddrPort) {
 	d = d/2 + time.Duration(n.env.Rand().Int63n(int64(d)))
 	st.until = n.env.Now().Add(d)
 	n.health.BackoffsArmed++
+	n.met.backoffArmed.Inc()
 	n.emit(Event{
 		Type: EvDialBackoff, Time: n.env.Now(), Node: n.cfg.Self.Addr,
 		Peer: addr, Delay: d, Count: st.failures,

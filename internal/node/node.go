@@ -30,6 +30,7 @@ import (
 	"repro/internal/addrman"
 	"repro/internal/chain"
 	"repro/internal/chainhash"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -218,6 +219,13 @@ type Config struct {
 	BlockSizeHint int
 	// Sink receives instrumentation events; nil discards them.
 	Sink EventSink
+	// Metrics, when set, receives the node's counters and latency
+	// histograms (node.* names: dial outcomes, health evictions, relay
+	// and block-download delays). Nil disables metric collection.
+	Metrics *obs.Registry
+	// Tracer, when set, records structured dial/handshake/relay/
+	// block-download events. Nil disables tracing.
+	Tracer *obs.Tracer
 	// AddrManKey seeds addrman bucket placement.
 	AddrManKey uint64
 
@@ -339,6 +347,13 @@ type Node struct {
 	// health aggregates the robustness counters (stall evictions,
 	// keepalive traffic, backoff arms) for measurement code.
 	health HealthStats
+	// met holds the obs metric handles (nil-safe no-ops when
+	// Config.Metrics is nil); tracer records structured events.
+	met    nodeMetrics
+	tracer *obs.Tracer
+	// dialStarted remembers when each in-flight dial began, for the
+	// dial trace spans.
+	dialStarted map[netip.AddrPort]time.Time
 
 	// blocksInFlight tracks requested blocks (and when they were
 	// requested) to avoid duplicate GETDATA and to detect stalls.
@@ -366,6 +381,42 @@ type inFlightBlock struct {
 	requested time.Time
 }
 
+// nodeMetrics groups the obs handles the node writes on its hot paths.
+// Each handle is resolved once in New and is a nil no-op when metrics
+// are disabled.
+type nodeMetrics struct {
+	dialAttempt     *obs.Counter
+	dialSuccess     *obs.Counter
+	dialFail        *obs.Counter
+	pingsSent       *obs.Counter
+	stallEvict      *obs.Counter
+	handshakeEvict  *obs.Counter
+	blockStallEvict *obs.Counter
+	backoffArmed    *obs.Counter
+	relayBlock      *obs.Histogram
+	relayTx         *obs.Histogram
+	handshakeTime   *obs.Histogram
+	blockDownload   *obs.Histogram
+}
+
+// resolveMetrics binds the handles against reg (all nil when reg is nil).
+func resolveMetrics(reg *obs.Registry) nodeMetrics {
+	return nodeMetrics{
+		dialAttempt:     reg.Counter("node.dial.attempt"),
+		dialSuccess:     reg.Counter("node.dial.success"),
+		dialFail:        reg.Counter("node.dial.fail"),
+		pingsSent:       reg.Counter("node.ping.sent"),
+		stallEvict:      reg.Counter("node.evict.stall"),
+		handshakeEvict:  reg.Counter("node.evict.handshake"),
+		blockStallEvict: reg.Counter("node.evict.blockstall"),
+		backoffArmed:    reg.Counter("node.backoff.armed"),
+		relayBlock:      reg.Histogram("node.relay.block.delay"),
+		relayTx:         reg.Histogram("node.relay.tx.delay"),
+		handshakeTime:   reg.Histogram("node.handshake.time"),
+		blockDownload:   reg.Histogram("node.block.download.time"),
+	}
+}
+
 // New constructs a node bound to env. Call Start to bring it online.
 func New(cfg Config, env Env) *Node {
 	cfg = cfg.withDefaults()
@@ -384,6 +435,9 @@ func New(cfg Config, env Env) *Node {
 		blocksInFlight: make(map[chainhash.Hash]inFlightBlock),
 		pendingCmpct:   make(map[chainhash.Hash]*pendingCompact),
 		seenTimes:      make(map[chainhash.Hash]time.Time),
+		met:            resolveMetrics(cfg.Metrics),
+		tracer:         cfg.Tracer,
+		dialStarted:    make(map[netip.AddrPort]time.Time),
 	}
 	n.addrman = addrman.New(addrman.Config{
 		Key:              cfg.AddrManKey,
@@ -597,7 +651,9 @@ func (n *Node) selectDialTarget(newOnly bool) (wire.NetAddress, bool) {
 // startDial records the attempt and hands the dial to the environment.
 func (n *Node) startDial(na wire.NetAddress, dir Direction) {
 	n.dialing[na.Addr] = dir
+	n.dialStarted[na.Addr] = n.env.Now()
 	n.dialAttempts++
+	n.met.dialAttempt.Inc()
 	n.addrman.Attempt(na.Addr)
 	n.emit(Event{
 		Type: EvDialAttempt, Node: n.cfg.Self.Addr, Peer: na.Addr,
@@ -619,7 +675,20 @@ func (n *Node) OnDialResult(remote netip.AddrPort, conn ConnID, err error) {
 		dir = Outbound
 	}
 	delete(n.dialing, remote)
+	started, timed := n.dialStarted[remote]
+	delete(n.dialStarted, remote)
+	traceDial := func(detail string) {
+		if n.tracer == nil || !timed {
+			return
+		}
+		n.tracer.Emit(obs.Event{
+			Time: n.env.Now(), Kind: "dial", From: n.cfg.Self.Addr,
+			To: remote, Detail: detail, Dur: n.env.Now().Sub(started),
+		})
+	}
 	if err != nil {
+		n.met.dialFail.Inc()
+		traceDial(err.Error())
 		n.emit(Event{
 			Type: EvDialFail, Node: n.cfg.Self.Addr, Peer: remote,
 			Dir: dir, Time: n.env.Now(), Err: err,
@@ -629,6 +698,8 @@ func (n *Node) OnDialResult(remote netip.AddrPort, conn ConnID, err error) {
 	}
 	n.clearBackoff(remote)
 	n.dialSuccesses++
+	n.met.dialSuccess.Inc()
+	traceDial("ok")
 	n.emit(Event{
 		Type: EvDialSuccess, Node: n.cfg.Self.Addr, Peer: remote,
 		Dir: dir, Time: n.env.Now(), Conn: conn,

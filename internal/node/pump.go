@@ -3,6 +3,7 @@ package node
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -63,13 +64,25 @@ func (n *Node) transmitNow(p *Peer, out outMsg, delay time.Duration) {
 		return
 	}
 	at := n.env.Now().Add(delay)
+	relayDelay := at.Sub(out.recvAt)
 	evType := EvTxRelayed
+	detail := "tx"
 	if out.class == classBlock {
 		evType = EvBlockRelayed
+		detail = "block"
+		n.met.relayBlock.ObserveDuration(relayDelay)
+	} else {
+		n.met.relayTx.ObserveDuration(relayDelay)
+	}
+	if n.tracer != nil {
+		n.tracer.Emit(obs.Event{
+			Time: at, Kind: "relay", From: n.cfg.Self.Addr, To: p.addr,
+			Detail: detail, Dur: relayDelay,
+		})
 	}
 	n.emit(Event{
 		Type: evType, Time: at, Node: n.cfg.Self.Addr, Peer: p.addr,
-		Dir: p.dir, Hash: out.relayMark, Delay: at.Sub(out.recvAt),
+		Dir: p.dir, Hash: out.relayMark, Delay: relayDelay,
 	})
 }
 

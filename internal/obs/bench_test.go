@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i) % int64(20*time.Second))
+	}
+}
+
+func BenchmarkRegistrySnapshot(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 64; i++ {
+		r.Counter(counterName(i)).Add(int64(i))
+	}
+	r.Histogram("lat").Observe(5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Snapshot()
+	}
+}
+
+func counterName(i int) string {
+	const names = "abcdefghijklmnopqrstuvwxyz"
+	return "c." + string(names[i%26]) + string(names[(i/26)%26])
+}
+
+func BenchmarkTracerEmit(b *testing.B) {
+	tr := NewTracer(DefaultTraceCapacity, virtualClock())
+	ev := Event{Kind: "relay", From: addrPort(1), To: addrPort(2), Detail: "block"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(ev)
+	}
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// PprofServer is a live profiling endpoint started by StartPprof.
+type PprofServer struct {
+	// Addr is the actual listen address (useful with port 0).
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartPprof serves the standard net/http/pprof handlers on addr
+// ("127.0.0.1:6060"-style; port 0 picks a free port) and returns
+// immediately. The process gains live CPU, heap, goroutine, and
+// execution traces at /debug/pprof/ — the opt-in profiling hook behind
+// the cmd/btcsim and cmd/btccrawl -pprof flags.
+func StartPprof(addr string) (*PprofServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: pprof listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &PprofServer{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}
+
+// Close shuts the endpoint down.
+func (p *PprofServer) Close() error {
+	if p == nil || p.srv == nil {
+		return nil
+	}
+	return p.srv.Close()
+}

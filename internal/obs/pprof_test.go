@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestStartPprofServesIndex(t *testing.T) {
+	srv, err := StartPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("StartPprof: %v", err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET index: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Errorf("index does not list profiles: %.120s", body)
+	}
+	resp, err = http.Get("http://" + srv.Addr + "/debug/pprof/heap?debug=1")
+	if err != nil {
+		t.Fatalf("GET heap: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("heap status = %d", resp.StatusCode)
+	}
+}
+
+func TestStartPprofBadAddr(t *testing.T) {
+	if _, err := StartPprof("256.0.0.1:http"); err == nil {
+		t.Error("expected listen error")
+	}
+	var nilSrv *PprofServer
+	if err := nilSrv.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Profile is one measured execution: wall time and allocator activity.
+// It reports on the run that produced a result, so it lives beside the
+// deterministic metrics, never inside them — wall time varies run to
+// run and must not pollute snapshot comparisons.
+type Profile struct {
+	// Wall is the elapsed wall-clock time.
+	Wall time.Duration
+	// AllocBytes is the total bytes allocated during the run (from
+	// runtime.MemStats.TotalAlloc, so frees do not subtract).
+	AllocBytes uint64
+	// NumGC is the number of garbage-collection cycles completed.
+	NumGC uint32
+}
+
+// String renders the profile compactly ("wall=1.2s alloc=34MB gc=3").
+func (p Profile) String() string {
+	return fmt.Sprintf("wall=%v alloc=%s gc=%d",
+		p.Wall.Round(time.Millisecond), formatBytes(p.AllocBytes), p.NumGC)
+}
+
+// formatBytes renders a byte count with a binary unit.
+func formatBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// StartProfile begins a wall/alloc measurement; the returned function
+// stops it and reports. Usage:
+//
+//	stop := obs.StartProfile()
+//	… run the experiment …
+//	profile := stop()
+func StartProfile() func() Profile {
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	return func() Profile {
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		return Profile{
+			Wall:       time.Since(start),
+			AllocBytes: after.TotalAlloc - before.TotalAlloc,
+			NumGC:      after.NumGC - before.NumGC,
+		}
+	}
+}

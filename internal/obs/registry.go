@@ -1,0 +1,253 @@
+// Package obs is the process-wide observability layer: a typed metrics
+// registry (atomic counters, gauges, and streaming histograms), a
+// low-overhead ring-buffered event tracer with spans, and profiling
+// helpers (pprof endpoints, per-experiment wall/alloc capture).
+//
+// The paper's root-cause method is fundamentally measurement: it
+// attributes the 2020 synchronization drop to churn and relay latency
+// only because it can observe dial failures, ADDR composition,
+// round-robin relay delay, and departure rates (§III–§IV). This package
+// gives the reproduction one uniform surface for the same longitudinal
+// instrumentation — every experiment consumes registry snapshots instead
+// of private bookkeeping, and every later performance PR has a baseline
+// to beat.
+//
+// Determinism: metric values and trace digests are pure functions of the
+// instrumented computation. Under the simnet virtual clock a seeded run
+// produces a byte-identical Snapshot.String() and Tracer.Digest(); the
+// analysis determinism tests pin this. All handle methods are nil-safe
+// (a nil *Counter/*Gauge/*Histogram/*Tracer is a no-op), so hot paths
+// instrument unconditionally and pay one predictable branch when
+// observability is off.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The nil counter
+// discards updates, so callers need no enable/disable branches.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (zero for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous atomic value. The nil gauge discards updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// SetMax raises the gauge to v if v is greater — a high-water mark.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (zero for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is a named collection of metrics. Handles are created once
+// (get-or-create) and then read and written lock-free through atomics;
+// the name index is kept sorted at registration time, so Snapshot walks
+// a pre-sorted list instead of sorting on every call — the allocation
+// and sort cost that made stats.Counters.Snapshot unsuitable for hot
+// paths.
+//
+// A Registry is safe for concurrent use. Experiments that must produce
+// byte-identical snapshots across same-seed runs use one private
+// Registry per run rather than a process global, so unrelated work never
+// bleeds into the comparison.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+
+	// Sorted name indexes, maintained on insert.
+	counterNames   []string
+	gaugeNames     []string
+	histogramNames []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// insertSorted places name into the sorted index.
+func insertSorted(names []string, name string) []string {
+	i := sort.SearchStrings(names, name)
+	names = append(names, "")
+	copy(names[i+1:], names[i:])
+	names[i] = name
+	return names
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) handle.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+		r.counterNames = insertSorted(r.counterNames, name)
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil
+// registry returns a nil (no-op) handle.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+		r.gaugeNames = insertSorted(r.gaugeNames, name)
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (DurationBuckets when bounds is empty).
+// A nil registry returns a nil (no-op) handle.
+func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = NewHistogram(bounds...)
+		r.histograms[name] = h
+		r.histogramNames = insertSorted(r.histogramNames, name)
+	}
+	return h
+}
+
+// NamedValue is one name/value pair of a snapshot.
+type NamedValue struct {
+	Name  string
+	Value int64
+}
+
+// HistogramStat is one histogram's summary in a snapshot. Quantiles are
+// deterministic bucket-bound estimates (see Histogram.Quantile).
+type HistogramStat struct {
+	Name          string
+	Count         int64
+	Sum           int64
+	Min, Max      int64
+	P50, P90, P99 int64
+}
+
+// Snapshot is a consistent, name-sorted view of a registry. It is plain
+// data: safe to retain, compare, and render after the run ends.
+type Snapshot struct {
+	Counters   []NamedValue
+	Gauges     []NamedValue
+	Histograms []HistogramStat
+}
+
+// Snapshot captures every metric, sorted by name within each kind. No
+// sorting happens here — the indexes are maintained at registration —
+// and values are read through atomics, so concurrent writers are never
+// blocked. A nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s.Counters = make([]NamedValue, len(r.counterNames))
+	for i, name := range r.counterNames {
+		s.Counters[i] = NamedValue{Name: name, Value: r.counters[name].Value()}
+	}
+	s.Gauges = make([]NamedValue, len(r.gaugeNames))
+	for i, name := range r.gaugeNames {
+		s.Gauges[i] = NamedValue{Name: name, Value: r.gauges[name].Value()}
+	}
+	s.Histograms = make([]HistogramStat, len(r.histogramNames))
+	for i, name := range r.histogramNames {
+		s.Histograms[i] = r.histograms[name].Stat(name)
+	}
+	return s
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("dials")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("dials") != c {
+		t.Error("get-or-create returned a different handle")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+	g.SetMax(3)
+	if got := g.Value(); got != 5 {
+		t.Errorf("SetMax lowered the gauge to %d", got)
+	}
+	g.SetMax(11)
+	if got := g.Value(); got != 11 {
+		t.Errorf("SetMax = %d, want 11", got)
+	}
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Error("nil counter retained a value")
+	}
+	g := r.Gauge("y")
+	g.Set(9)
+	g.SetMax(10)
+	if g.Value() != 0 {
+		t.Error("nil gauge retained a value")
+	}
+	h := r.Histogram("z")
+	h.Observe(5)
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil histogram retained samples")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+	var tr *Tracer
+	tr.Emit(Event{Kind: "x"})
+	tr.Span("s", addrPort(1), addrPort(2)).End("done")
+	if tr.Total() != 0 || tr.Digest() != "" || tr.Events() != nil {
+		t.Error("nil tracer retained events")
+	}
+}
+
+func TestSnapshotSortedAndStable(t *testing.T) {
+	r := NewRegistry()
+	// Register out of order; the snapshot must come back sorted without
+	// sorting at snapshot time.
+	for _, name := range []string{"zeta", "alpha", "mid", "beta"} {
+		r.Counter(name).Inc()
+	}
+	r.Gauge("g2").Set(2)
+	r.Gauge("g1").Set(1)
+	r.Histogram("h2").Observe(10)
+	r.Histogram("h1").Observe(20)
+	snap := r.Snapshot()
+	wantCounters := []string{"alpha", "beta", "mid", "zeta"}
+	for i, nv := range snap.Counters {
+		if nv.Name != wantCounters[i] {
+			t.Fatalf("counter order %v, want %v", snap.Counters, wantCounters)
+		}
+	}
+	if snap.Gauges[0].Name != "g1" || snap.Gauges[1].Name != "g2" {
+		t.Errorf("gauge order: %v", snap.Gauges)
+	}
+	if snap.Histograms[0].Name != "h1" || snap.Histograms[1].Name != "h2" {
+		t.Errorf("histogram order: %+v", snap.Histograms)
+	}
+	if snap.Counter("mid") != 1 || snap.Gauge("g2") != 2 {
+		t.Error("snapshot lookup helpers wrong")
+	}
+	if _, ok := snap.Histogram("h1"); !ok {
+		t.Error("snapshot histogram lookup missed")
+	}
+	// Two snapshots of an unchanged registry render identically.
+	if a, b := r.Snapshot().String(), r.Snapshot().String(); a != b {
+		t.Errorf("unstable rendering:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestConcurrentAddSnapshot is the -race coverage the stats.Counters
+// replacement requires: many goroutines adding while others snapshot
+// and create new metrics. Correctness: no race, and the final snapshot
+// sees every update.
+func TestConcurrentAddSnapshot(t *testing.T) {
+	r := NewRegistry()
+	const (
+		goroutines = 8
+		perG       = 2000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("shared").Inc()
+				r.Counter(fmt.Sprintf("own.%d", g)).Inc()
+				r.Gauge("depth").Set(int64(i))
+				r.Histogram("lat").Observe(int64(i))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	// Concurrent snapshot reader.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			snap := r.Snapshot()
+			_ = snap.String()
+		}
+	}()
+	wg.Wait()
+	<-done
+	snap := r.Snapshot()
+	if got := snap.Counter("shared"); got != goroutines*perG {
+		t.Errorf("shared counter = %d, want %d", got, goroutines*perG)
+	}
+	for g := 0; g < goroutines; g++ {
+		if got := snap.Counter(fmt.Sprintf("own.%d", g)); got != perG {
+			t.Errorf("own.%d = %d, want %d", g, got, perG)
+		}
+	}
+	if h, _ := snap.Histogram("lat"); h.Count != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", h.Count, goroutines*perG)
+	}
+}
+
+func TestProfileCapture(t *testing.T) {
+	stop := StartProfile()
+	// Allocate something measurable.
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 16<<10))
+	}
+	p := stop()
+	_ = sink
+	if p.AllocBytes < 64*16<<10/2 {
+		t.Errorf("profile missed allocations: %+v", p)
+	}
+	if p.String() == "" {
+		t.Error("empty profile rendering")
+	}
+	for _, c := range []struct {
+		b    uint64
+		want string
+	}{{512, "512B"}, {4 << 10, "4.0KiB"}, {3 << 20, "3.0MiB"}, {2 << 30, "2.0GiB"}} {
+		if got := formatBytes(c.b); got != c.want {
+			t.Errorf("formatBytes(%d) = %q, want %q", c.b, got, c.want)
+		}
+	}
+}

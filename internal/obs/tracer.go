@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// Event is one structured trace record. The same type serves fault
+// injections, node protocol transitions, and span completions; Kind
+// discriminates, Detail carries free-form context, and Dur is non-zero
+// for span events.
+type Event struct {
+	// Time is the (virtual) time of the event.
+	Time time.Time
+	// Kind labels the event: drop, dup, spike, dial-refuse, partition,
+	// heal, crash, restart, dial, handshake, relay, block-download, ….
+	Kind string
+	// From and To are the endpoints, when applicable.
+	From, To netip.AddrPort
+	// Detail carries the message command or extra context.
+	Detail string
+	// Dur is the span duration for span-completion events (zero for
+	// point events).
+	Dur time.Duration
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	s := fmt.Sprintf("%s %s %v->%v %s",
+		e.Time.Format("15:04:05.000"), e.Kind, e.From, e.To, e.Detail)
+	if e.Dur != 0 {
+		s += fmt.Sprintf(" dur=%v", e.Dur)
+	}
+	return s
+}
+
+// Tracer is a low-overhead structured event recorder: a fixed-capacity
+// ring buffer retaining the most recent events, plus a running FNV-64a
+// digest over every event ever emitted (eviction does not change the
+// digest). Under the simnet virtual clock the scheduler invokes all
+// instrumented code in a deterministic order, so a seeded run always
+// produces the identical event sequence and digest — the property the
+// determinism golden tests compare.
+//
+// The nil tracer discards events, so hot paths emit unconditionally.
+// Methods are mutex-guarded for the tcpnet (real socket) backends;
+// under simnet the lock is uncontended.
+type Tracer struct {
+	mu    sync.Mutex
+	clock func() time.Time
+	ring  []Event
+	start int // index of the oldest retained event
+	n     int // retained events
+	total uint64
+	hash  uint64 // running FNV-64a
+}
+
+// DefaultTraceCapacity bounds the retained trace when NewTracer is
+// given a non-positive capacity.
+const DefaultTraceCapacity = 20000
+
+// NewTracer creates a tracer retaining up to capacity events. clock
+// supplies event times for Emit calls with a zero Time and span
+// durations; nil defaults to time.Now (simulations pass the virtual
+// clock).
+func NewTracer(capacity int, clock func() time.Time) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	const offset64 = 14695981039346656037
+	return &Tracer{
+		clock: clock,
+		ring:  make([]Event, 0, capacity),
+		hash:  offset64,
+	}
+}
+
+// Emit records one event, stamping Time from the clock when zero.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ev.Time.IsZero() {
+		ev.Time = t.clock()
+	}
+	t.total++
+	t.mixLocked(ev)
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, ev)
+		t.n++
+		return
+	}
+	// Ring full: overwrite the oldest.
+	t.ring[t.start] = ev
+	t.start = (t.start + 1) % len(t.ring)
+}
+
+// mixLocked folds ev into the running digest.
+func (t *Tracer) mixLocked(ev Event) {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%v|%v|%s|%d",
+		ev.Time.UnixNano(), ev.Kind, ev.From, ev.To, ev.Detail, ev.Dur)
+	// Chain the per-event hash into the running digest so order matters.
+	t.hash = (t.hash ^ h.Sum64()) * 1099511628211
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.ring[(t.start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// Total returns the number of events ever emitted (including evicted
+// ones).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped returns how many events the ring has evicted.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total - uint64(t.n)
+}
+
+// Digest returns a hex digest over every event ever emitted, in order.
+// Same-seed deterministic runs produce identical digests; the ring
+// capacity does not affect it.
+func (t *Tracer) Digest() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return fmt.Sprintf("%016x", t.hash)
+}
+
+// Span is an in-progress timed operation. End emits a completion event
+// whose Dur is the elapsed (possibly virtual) time since Span was
+// created. The nil span is a no-op.
+type Span struct {
+	tr    *Tracer
+	ev    Event
+	begin time.Time
+}
+
+// Span starts a timed operation of the given kind between from and to.
+func (t *Tracer) Span(kind string, from, to netip.AddrPort) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		tr:    t,
+		ev:    Event{Kind: kind, From: from, To: to},
+		begin: t.clock(),
+	}
+}
+
+// End completes the span, recording detail and the elapsed duration.
+func (s *Span) End(detail string) {
+	if s == nil {
+		return
+	}
+	now := s.tr.clock()
+	s.ev.Time = now
+	s.ev.Detail = detail
+	s.ev.Dur = now.Sub(s.begin)
+	s.tr.Emit(s.ev)
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func addrPort(b byte) netip.AddrPort {
+	return netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 0, 0, b}), 8333)
+}
+
+// virtualClock is a deterministic test clock advancing 1 ms per call.
+func virtualClock() func() time.Time {
+	t := time.Unix(1585958400, 0).UTC()
+	return func() time.Time {
+		t = t.Add(time.Millisecond)
+		return t
+	}
+}
+
+func TestTracerRecordsAndStamps(t *testing.T) {
+	tr := NewTracer(8, virtualClock())
+	tr.Emit(Event{Kind: "drop", From: addrPort(1), To: addrPort(2), Detail: "ping"})
+	tr.Emit(Event{Kind: "spike", Time: time.Unix(99, 0).UTC()})
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Time.IsZero() {
+		t.Error("Emit did not stamp the clock time")
+	}
+	if !evs[1].Time.Equal(time.Unix(99, 0).UTC()) {
+		t.Error("Emit overwrote an explicit time")
+	}
+	if s := evs[0].String(); !strings.Contains(s, "drop") || !strings.Contains(s, "ping") {
+		t.Errorf("event rendering: %q", s)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(4, virtualClock())
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Kind: "e", Detail: fmt.Sprint(i)})
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := fmt.Sprint(6 + i); ev.Detail != want {
+			t.Errorf("ring[%d] = %s, want %s (oldest-first order)", i, ev.Detail, want)
+		}
+	}
+	if tr.Total() != 10 || tr.Dropped() != 6 {
+		t.Errorf("total/dropped = %d/%d, want 10/6", tr.Total(), tr.Dropped())
+	}
+}
+
+func TestTracerDigestDeterministicAndEvictionFree(t *testing.T) {
+	run := func(capacity int) string {
+		tr := NewTracer(capacity, virtualClock())
+		for i := 0; i < 50; i++ {
+			tr.Emit(Event{Kind: "k", From: addrPort(byte(i)), Detail: fmt.Sprint(i)})
+		}
+		return tr.Digest()
+	}
+	if run(100) != run(100) {
+		t.Error("same sequence produced different digests")
+	}
+	// Digest covers evicted events too: capacity must not matter.
+	if run(100) != run(4) {
+		t.Error("ring capacity changed the digest")
+	}
+	// Order matters.
+	a := NewTracer(10, virtualClock())
+	b := NewTracer(10, virtualClock())
+	a.Emit(Event{Kind: "x"})
+	a.Emit(Event{Kind: "y"})
+	b.Emit(Event{Kind: "y"})
+	b.Emit(Event{Kind: "x"})
+	if a.Digest() == b.Digest() {
+		t.Error("digest ignored event order")
+	}
+}
+
+func TestSpanMeasuresVirtualTime(t *testing.T) {
+	tr := NewTracer(8, virtualClock())
+	sp := tr.Span("dial", addrPort(1), addrPort(2))
+	// Clock advances 1 ms per call: Span took one tick, End takes another.
+	sp.End("ok")
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("span emitted %d events", len(evs))
+	}
+	ev := evs[0]
+	if ev.Kind != "dial" || ev.Detail != "ok" {
+		t.Errorf("span event = %+v", ev)
+	}
+	if ev.Dur != time.Millisecond {
+		t.Errorf("span dur = %v, want 1ms", ev.Dur)
+	}
+	if !strings.Contains(ev.String(), "dur=") {
+		t.Errorf("span rendering lacks duration: %q", ev.String())
+	}
+}
+
+func TestTracerEventsCopy(t *testing.T) {
+	tr := NewTracer(4, virtualClock())
+	tr.Emit(Event{Kind: "a"})
+	evs := tr.Events()
+	evs[0].Kind = "mutated"
+	if got := tr.Events()[0].Kind; got != "a" {
+		t.Errorf("Events returned aliased storage: %q", got)
+	}
+	if !reflect.DeepEqual(tr.Events(), tr.Events()) {
+		t.Error("repeated Events calls differ")
+	}
+}

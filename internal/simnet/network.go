@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -113,6 +114,11 @@ type Config struct {
 	// waiting out the full timeout (SYN silently dropped by a NAT). The
 	// outcome is deterministic per address. Default 50.
 	FastFailPct int
+	// Metrics, when set, receives the network's instrumentation:
+	// scheduler queue depth, dial outcome counters, and the transmit
+	// latency histogram (simnet.* names). Nil disables instrumentation
+	// at negligible cost.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -159,19 +165,41 @@ type Network struct {
 	links    map[node.ConnID]*link
 	next     node.ConnID
 	injector Injector
+
+	// Metric handles, resolved once at construction; nil-safe no-ops
+	// when Config.Metrics is nil.
+	mDialOK      *obs.Counter
+	mDialRefused *obs.Counter
+	mDialTimeout *obs.Counter
+	mTransmit    *obs.Counter
+	mTransmitDup *obs.Counter
+	hTransmit    *obs.Histogram
 }
 
 // New creates an empty simulated network.
 func New(cfg Config) *Network {
 	cfg = cfg.withDefaults()
-	return &Network{
+	n := &Network{
 		cfg:   cfg,
 		sched: NewScheduler(cfg.Epoch),
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		hosts: make(map[netip.AddrPort]*Host),
 		links: make(map[node.ConnID]*link),
+
+		mDialOK:      cfg.Metrics.Counter("simnet.dial.ok"),
+		mDialRefused: cfg.Metrics.Counter("simnet.dial.refused"),
+		mDialTimeout: cfg.Metrics.Counter("simnet.dial.timeout"),
+		mTransmit:    cfg.Metrics.Counter("simnet.transmit.count"),
+		mTransmitDup: cfg.Metrics.Counter("simnet.transmit.duplicated"),
+		hTransmit:    cfg.Metrics.Histogram("simnet.transmit.delay"),
 	}
+	n.sched.SetMetrics(cfg.Metrics)
+	return n
 }
+
+// Metrics returns the registry the network reports into (nil when
+// observability is off).
+func (n *Network) Metrics() *obs.Registry { return n.cfg.Metrics }
 
 // Scheduler exposes the event scheduler for harness-driven workloads
 // (block mining ticks, churn traces, measurements).
@@ -263,6 +291,11 @@ func (n *Network) dial(from *Host, remote netip.AddrPort) {
 	target := n.hosts[remote]
 
 	fail := func(after time.Duration, err error) {
+		if errors.Is(err, ErrRefused) {
+			n.mDialRefused.Inc()
+		} else {
+			n.mDialTimeout.Inc()
+		}
 		n.sched.After(after, func() {
 			if from.epoch != fromEpoch || from.node == nil {
 				return
@@ -333,6 +366,7 @@ func (n *Network) dial(from *Host, remote netip.AddrPort) {
 			n.links[id] = l
 			from.links[id] = l
 			target.links[id] = l
+			n.mDialOK.Inc()
 			from.node.OnDialResult(remote, id, nil)
 			return
 		}
@@ -350,6 +384,7 @@ func (n *Network) dial(from *Host, remote netip.AddrPort) {
 		n.links[id] = l
 		from.links[id] = l
 		target.links[id] = l
+		n.mDialOK.Inc()
 		from.node.OnDialResult(remote, id, nil)
 	})
 }
@@ -371,6 +406,8 @@ func (n *Network) transmit(from *Host, id node.ConnID, msg wire.Message, delay t
 	}
 	toEpoch := to.epoch
 	total := delay + n.latencyBetween(from, to) + verdict.ExtraDelay
+	n.mTransmit.Inc()
+	n.hTransmit.ObserveDuration(total)
 	deliver := func() {
 		if l.closed || to.epoch != toEpoch || to.node == nil || !to.online {
 			return
@@ -379,6 +416,7 @@ func (n *Network) transmit(from *Host, id node.ConnID, msg wire.Message, delay t
 	}
 	n.sched.After(total, deliver)
 	if verdict.Duplicate {
+		n.mTransmitDup.Inc()
 		n.sched.After(total+verdict.DuplicateDelay, deliver)
 	}
 }

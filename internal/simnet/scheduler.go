@@ -9,6 +9,8 @@ package simnet
 import (
 	"container/heap"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // event is a scheduled callback. Times are kept as Unix nanoseconds so
@@ -53,11 +55,26 @@ type Scheduler struct {
 	seq    uint64
 	events eventHeap
 	count  uint64 // total events executed, for reporting
+
+	// Metric handles are nil (no-op) until SetMetrics installs a
+	// registry, so the hot loop pays one predictable branch when
+	// observability is off.
+	mDepth    *obs.Gauge
+	mDepthMax *obs.Gauge
+	mExecuted *obs.Counter
 }
 
 // NewScheduler creates a scheduler starting at epoch.
 func NewScheduler(epoch time.Time) *Scheduler {
 	return &Scheduler{now: epoch}
+}
+
+// SetMetrics wires the scheduler's queue-depth gauges and executed-event
+// counter into reg (simnet.sched.* names). A nil registry detaches them.
+func (s *Scheduler) SetMetrics(reg *obs.Registry) {
+	s.mDepth = reg.Gauge("simnet.sched.depth")
+	s.mDepthMax = reg.Gauge("simnet.sched.depth.max")
+	s.mExecuted = reg.Counter("simnet.sched.executed")
 }
 
 // Now returns the current virtual time.
@@ -77,6 +94,8 @@ func (s *Scheduler) At(t time.Time, fn func()) {
 	}
 	s.seq++
 	heap.Push(&s.events, &event{at: t.UnixNano(), seq: s.seq, fn: fn})
+	s.mDepth.Set(int64(len(s.events)))
+	s.mDepthMax.SetMax(int64(len(s.events)))
 }
 
 // After schedules fn d from now. Negative d is treated as zero.
@@ -100,6 +119,8 @@ func (s *Scheduler) RunUntil(deadline time.Time) {
 		heap.Pop(&s.events)
 		s.now = time.Unix(0, next.at).UTC()
 		s.count++
+		s.mDepth.Set(int64(len(s.events)))
+		s.mExecuted.Inc()
 		next.fn()
 	}
 	if s.now.Before(deadline) {
@@ -120,6 +141,8 @@ func (s *Scheduler) Drain(maxEvents int) {
 		ev := heap.Pop(&s.events).(*event)
 		s.now = time.Unix(0, ev.at).UTC()
 		s.count++
+		s.mDepth.Set(int64(len(s.events)))
+		s.mExecuted.Inc()
 		maxEvents--
 		ev.fn()
 	}

@@ -8,8 +8,13 @@ import (
 
 // Counters is a set of named event counters. The zero value is ready to
 // use. Snapshots are sorted by name, so two counter sets accumulated by
-// deterministic processes compare equal with reflect.DeepEqual — the
-// property the chaos tests use to assert same-seed reproducibility.
+// deterministic processes compare equal with reflect.DeepEqual.
+//
+// Deprecated: use obs.Registry counters instead. Counters allocates a
+// map lookup per increment and sorts on every Snapshot; the obs
+// registry hands out atomic handles resolved once and keeps its name
+// index sorted at registration. All in-repo call sites have migrated;
+// this type remains only for external users of the stats package.
 type Counters struct {
 	m map[string]int64
 }

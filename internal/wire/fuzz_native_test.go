@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"testing"
 	"time"
+
+	"repro/internal/chainhash"
 )
 
 // FuzzReadMessage is a native fuzz target over the frame decoder. Under
@@ -61,6 +63,63 @@ func FuzzVarInt(f *testing.F) {
 		back, err := ReadVarInt(&buf)
 		if err != nil || back != v {
 			t.Fatalf("varint %d round trip: %d, %v", v, back, err)
+		}
+	})
+}
+
+// FuzzReadWriteMessage strengthens FuzzReadMessage to a full round-trip
+// invariant: any frame the decoder accepts must re-encode, decode again,
+// and re-encode to byte-identical output — i.e. one decode/encode pass
+// reaches a serialization fixed point. This is what protects the
+// persisted trace formats and the simulator's size accounting from
+// drifting between encoder and decoder.
+func FuzzReadWriteMessage(f *testing.F) {
+	seeds := []Message{
+		&MsgPing{Nonce: 1},
+		&MsgPong{Nonce: 2},
+		&MsgVerAck{},
+		&MsgGetAddr{},
+		&MsgVersion{UserAgent: "/rt/", Timestamp: time.Unix(1586000000, 0)},
+		&MsgAddr{AddrList: make([]NetAddress, 3)},
+		&MsgInv{invList{InvList: make([]InvVect, 2)}},
+		&MsgGetData{invList{InvList: make([]InvVect, 1)}},
+		&MsgTx{Version: 2, TxIn: []TxIn{{SignatureScript: []byte{0xab}}}},
+		&MsgBlock{Header: BlockHeader{Version: 1}},
+		&MsgHeaders{Headers: make([]BlockHeader, 2)},
+		&MsgGetHeaders{BlockLocatorHashes: make([]chainhash.Hash, 1)},
+		&MsgSendCmpct{Announce: true, Version: 1},
+		&MsgCmpctBlock{ShortIDs: make([]ShortID, 2)},
+		&MsgGetBlockTxn{Indexes: []uint16{0, 1}},
+	}
+	for _, msg := range seeds {
+		var buf bytes.Buffer
+		if _, err := WriteMessage(&buf, msg, SimNet); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := ReadMessage(bytes.NewReader(data), SimNet)
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if _, err := WriteMessage(&first, msg, SimNet); err != nil {
+			t.Fatalf("accepted %q fails to encode: %v", msg.Command(), err)
+		}
+		again, err := ReadMessage(bytes.NewReader(first.Bytes()), SimNet)
+		if err != nil {
+			t.Fatalf("re-encoded %q fails to decode: %v", msg.Command(), err)
+		}
+		var second bytes.Buffer
+		if _, err := WriteMessage(&second, again, SimNet); err != nil {
+			t.Fatalf("second encode of %q: %v", msg.Command(), err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("%q encode not a fixed point: %d vs %d bytes",
+				msg.Command(), first.Len(), second.Len())
 		}
 	})
 }
