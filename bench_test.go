@@ -12,6 +12,7 @@ package repro_test
 // the 60-experiment crawl once.
 
 import (
+	"context"
 	"strconv"
 	"testing"
 
@@ -37,7 +38,7 @@ func runExperiment(b *testing.B, id string, metrics map[string]string) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
-		rep, err = exp.Run(benchOpts)
+		rep, err = exp.Run(context.Background(), benchOpts)
 		if err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}

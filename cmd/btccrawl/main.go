@@ -5,16 +5,23 @@
 // Usage:
 //
 //	btccrawl [-scale 0.05] [-seed 1] [-day 10] [-scan] [-malicious]
-//	         [-pprof] [-pprof-addr 127.0.0.1:6060]
+//	         [-series 0] [-pprof] [-pprof-addr 127.0.0.1:6060]
+//
+// With -series N the single-day snapshot is replaced by the full
+// longitudinal study over the first N crawl experiments (Figures 3-5);
+// Ctrl-C cancels between crawls.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/netip"
 	"os"
+	"os/signal"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/crawler"
 	"repro/internal/netgen"
 	"repro/internal/obs"
@@ -34,6 +41,7 @@ func run() error {
 		day       = flag.Int("day", 10, "crawl day within the 60-day horizon")
 		scan      = flag.Bool("scan", false, "also run the responsive scan (Algorithm 2)")
 		malicious = flag.Bool("malicious", false, "report suspected ADDR flooders")
+		series    = flag.Int("series", 0, "run the longitudinal study over this many crawl experiments instead of one snapshot")
 		pprof     = flag.Bool("pprof", false, "serve net/http/pprof profiles while the crawl runs")
 		pprofAddr = flag.String("pprof-addr", "127.0.0.1:6060", "pprof listen address (with -pprof; port 0 picks a free port)")
 	)
@@ -48,7 +56,28 @@ func run() error {
 		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", srv.Addr)
 	}
 
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
 	params := netgen.DefaultParams(*seed, *scale)
+	if *series > 0 {
+		start := time.Now()
+		res, err := analysis.RunCrawlSeries(ctx, analysis.CrawlSeriesConfig{
+			Params:      params,
+			Experiments: *series,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("series of %d crawl experiments done in %v\n",
+			len(res.Experiments), time.Since(start).Round(time.Millisecond))
+		fmt.Printf("unique reachable %d, cumulative unreachable %d, mean connected %.0f\n",
+			res.UniqueConnected, res.TotalUniqueUnreachable, res.MeanConnected)
+		fmt.Printf("mean ADDR reachable share %.1f%%, flagged flooders %d\n",
+			100*res.MeanAddrReachableShare, len(res.Malicious))
+		return nil
+	}
+
 	fmt.Printf("generating universe (scale %.2f)...\n", *scale)
 	u, err := netgen.Generate(params)
 	if err != nil {

@@ -4,22 +4,30 @@
 // Usage:
 //
 //	btcsim [-nodes 120] [-hours 4] [-churn 1.5] [-policy round-robin]
-//	       [-txs 100] [-compact] [-seed 1] [-pprof] [-pprof-addr 127.0.0.1:6060]
+//	       [-txs 100] [-compact] [-seed 1] [-runs 1] [-workers 0]
+//	       [-pprof] [-pprof-addr 127.0.0.1:6060]
 //
 // The relay policy is one of round-robin (Bitcoin Core's behaviour),
 // broadcast (the theoretical ideal), or priority (the paper's §V
-// refinement).
+// refinement). With -runs N the simulation is replicated on paired
+// seeds across -workers goroutines; per-run summaries print in run
+// order regardless of completion order, and Ctrl-C cancels mid-run.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/node"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/stats"
 )
 
@@ -39,6 +47,8 @@ func run() error {
 		txs       = flag.Int("txs", 100, "background transactions per block interval")
 		compact   = flag.Bool("compact", false, "use BIP-152 compact block relay")
 		seed      = flag.Int64("seed", 1, "random seed")
+		runs      = flag.Int("runs", 1, "replications on paired seeds (seed + i*7919)")
+		workers   = flag.Int("workers", 0, "replication worker goroutines (0 = GOMAXPROCS)")
 		pprof     = flag.Bool("pprof", false, "serve net/http/pprof profiles while the simulation runs")
 		pprofAddr = flag.String("pprof-addr", "127.0.0.1:6060", "pprof listen address (with -pprof; port 0 picks a free port)")
 	)
@@ -65,7 +75,7 @@ func run() error {
 		return fmt.Errorf("unknown relay policy %q", *policy)
 	}
 
-	cfg := analysis.PropagationConfig{
+	base := analysis.PropagationConfig{
 		Seed:                    *seed,
 		NumReachable:            *nodes,
 		Duration:                time.Duration(*hours * float64(time.Hour)),
@@ -74,33 +84,63 @@ func run() error {
 		CompactBlocks:           *compact,
 		ChurnDeparturesPer10Min: *churn,
 	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	if *runs < 1 {
+		*runs = 1
+	}
 	start := time.Now()
-	res, err := analysis.RunPropagation(cfg)
+	bufs := make([]bytes.Buffer, *runs)
+	err := par.ForEach(ctx, *workers, *runs, func(ctx context.Context, i int) error {
+		cfg := base
+		cfg.Seed = base.Seed + int64(i)*7919
+		res, err := analysis.RunPropagation(ctx, cfg)
+		if err != nil {
+			return fmt.Errorf("run %d (seed %d): %w", i, cfg.Seed, err)
+		}
+		if *runs > 1 {
+			fmt.Fprintf(&bufs[i], "-- run %d (seed %d) --\n", i, cfg.Seed)
+		}
+		summarize(&bufs[i], res)
+		return nil
+	})
 	if err != nil {
 		return err
 	}
+	// Wall time goes to stderr so stdout stays byte-identical across
+	// same-seed invocations and worker counts.
+	fmt.Fprintf(os.Stderr, "simulated %d nodes for %v of virtual time x %d run(s) (%v wall)\n",
+		*nodes, base.Duration, *runs, time.Since(start).Round(time.Millisecond))
+	for i := range bufs {
+		if _, err := bufs[i].WriteTo(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
-	fmt.Printf("simulated %d nodes for %v of virtual time (%v wall)\n",
-		*nodes, cfg.Duration, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("blocks mined:            %d\n", res.BlocksMined)
-	fmt.Printf("mean outdegree:          %.2f\n", res.MeanOutdegree)
+// summarize prints one run's headline statistics.
+func summarize(w io.Writer, res *analysis.PropagationResult) {
+	fmt.Fprintf(w, "blocks mined:            %d\n", res.BlocksMined)
+	fmt.Fprintf(w, "mean outdegree:          %.2f\n", res.MeanOutdegree)
 	if res.DialAttempts > 0 {
-		fmt.Printf("dial success rate:       %.1f%% (%d of %d)\n",
+		fmt.Fprintf(w, "dial success rate:       %.1f%% (%d of %d)\n",
 			100*float64(res.DialSuccesses)/float64(res.DialAttempts),
 			res.DialSuccesses, res.DialAttempts)
 	}
 	if len(res.SyncSamples) > 0 {
-		fmt.Printf("true synchronization:    %.1f%%\n", 100*stats.Mean(res.SyncSamples))
+		fmt.Fprintf(w, "true synchronization:    %.1f%%\n", 100*stats.Mean(res.SyncSamples))
 	}
 	if len(res.ObservedSyncSamples) > 0 {
-		fmt.Printf("observed synchronization: %.1f%% (Bitnodes-style monitor)\n",
+		fmt.Fprintf(w, "observed synchronization: %.1f%% (Bitnodes-style monitor)\n",
 			100*stats.Mean(res.ObservedSyncSamples))
 	}
 	blocks := analysis.SummarizeRelays(res.BlockRelays)
 	txsRelay := analysis.SummarizeRelays(res.TxRelays)
-	fmt.Printf("block relay delay:       mean %.2fs max %.2fs (n=%d)\n",
+	fmt.Fprintf(w, "block relay delay:       mean %.2fs max %.2fs (n=%d)\n",
 		blocks.Mean, blocks.Max, blocks.Count)
-	fmt.Printf("tx relay delay:          mean %.2fs max %.2fs (n=%d)\n",
+	fmt.Fprintf(w, "tx relay delay:          mean %.2fs max %.2fs (n=%d)\n",
 		txsRelay.Mean, txsRelay.Max, txsRelay.Count)
-	return nil
 }

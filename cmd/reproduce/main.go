@@ -4,24 +4,28 @@
 //
 //	reproduce -list
 //	reproduce -id fig1 [-seed 1] [-scale 0.3] [-netsize 120] [-quick] [-csv out/]
-//	reproduce -all [-quick] [-csv out/]
+//	reproduce -all [-quick] [-csv out/] [-workers 4]
 //	reproduce -render fig12
 //
 // Each experiment prints its measured metrics next to the paper's
 // reported values; -csv additionally writes the underlying series.
+// Experiments run concurrently on -workers goroutines (default
+// GOMAXPROCS) with deterministic, worker-count-independent output;
+// Ctrl-C cancels mid-simulation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/netgen"
-	"repro/internal/obs"
 )
 
 func main() {
@@ -42,6 +46,7 @@ func run() error {
 		quick   = flag.Bool("quick", false, "reduced sizes for a fast smoke run")
 		csvDir  = flag.String("csv", "", "also write series CSVs into this directory")
 		render  = flag.String("render", "", "render an ASCII artifact (currently: fig12)")
+		workers = flag.Int("workers", 0, "experiment worker goroutines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -52,6 +57,18 @@ func run() error {
 		Quick:   *quick,
 	}
 
+	// Ctrl-C cancels the context; the simulations poll it and stop
+	// mid-run, so a second signal is only needed if teardown hangs.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	runner := core.Runner{
+		Workers:  *workers,
+		Options:  opts,
+		CSVDir:   *csvDir,
+		Profiles: os.Stderr,
+	}
+
 	switch {
 	case *list:
 		for _, e := range core.Experiments() {
@@ -60,56 +77,30 @@ func run() error {
 		return nil
 
 	case *render != "":
-		return renderArtifact(*render, opts)
+		return renderArtifact(ctx, *render, opts)
 
 	case *all:
 		start := time.Now()
-		for _, e := range core.Experiments() {
-			stop := obs.StartProfile()
-			rep, err := e.Run(opts)
-			if err != nil {
-				return fmt.Errorf("%s: %w", e.ID, err)
-			}
-			rep.Profile = stop()
-			if err := rep.Render(os.Stdout); err != nil {
-				return err
-			}
-			fmt.Fprintf(os.Stderr, "  profile: %s\n", rep.Profile)
-			fmt.Println()
-			if *csvDir != "" {
-				if err := rep.WriteCSV(*csvDir); err != nil {
-					return err
-				}
-			}
+		if err := runner.Run(ctx, core.Experiments(), os.Stdout); err != nil {
+			return err
 		}
-		fmt.Printf("all experiments done in %v\n", time.Since(start).Round(time.Second))
+		// Wall time is nondeterministic; keep stdout byte-identical
+		// across worker counts.
+		fmt.Fprintf(os.Stderr, "all experiments done in %v\n",
+			time.Since(start).Round(time.Second))
 		return nil
 
 	case *id != "":
+		var exps []core.Experiment
 		for _, one := range strings.Split(*id, ",") {
 			one = strings.TrimSpace(one)
 			e, ok := core.ByID(one)
 			if !ok {
 				return fmt.Errorf("unknown experiment %q (use -list)", one)
 			}
-			stop := obs.StartProfile()
-			rep, err := e.Run(opts)
-			if err != nil {
-				return err
-			}
-			rep.Profile = stop()
-			if err := rep.Render(os.Stdout); err != nil {
-				return err
-			}
-			fmt.Fprintf(os.Stderr, "  profile: %s\n", rep.Profile)
-			fmt.Println()
-			if *csvDir != "" {
-				if err := rep.WriteCSV(*csvDir); err != nil {
-					return err
-				}
-			}
+			exps = append(exps, e)
 		}
-		return nil
+		return runner.Run(ctx, exps, os.Stdout)
 
 	default:
 		flag.Usage()
@@ -119,14 +110,14 @@ func run() error {
 
 // renderArtifact draws figure artifacts that are pictures rather than
 // series.
-func renderArtifact(id string, opts core.Options) error {
+func renderArtifact(ctx context.Context, id string, opts core.Options) error {
 	switch id {
 	case "fig12":
 		scale := opts.Scale
 		if scale == 0 {
 			scale = 0.05
 		}
-		res, err := analysis.RunChurnFigs(analysis.ChurnFigsConfig{
+		res, err := analysis.RunChurnFigs(ctx, analysis.ChurnFigsConfig{
 			Params: netgen.DefaultParams(opts.Seed, scale),
 		})
 		if err != nil {

@@ -1,18 +1,22 @@
 // Relay-policy ablation (§IV-C and §V): the same network workload under
 // Bitcoin Core's round-robin message scheduling, the idealized lock-step
 // broadcast of the theoretical models, and the paper's proposed
-// priority-outbound block relay.
+// priority-outbound block relay. The three policies simulate
+// concurrently (par.Replicate); rows print in policy order either way.
 //
 //	go run ./examples/relaypolicy
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/node"
+	"repro/internal/par"
 	"repro/internal/stats"
 )
 
@@ -30,8 +34,13 @@ func run() error {
 	fmt.Printf("%-18s %10s %10s %10s %10s %12s\n",
 		"policy", "blk mean", "blk p99", "blk max", "tx max", "observed sync")
 
-	for _, policy := range policies {
-		res, err := analysis.RunPropagation(analysis.PropagationConfig{
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	rows := make([]string, len(policies))
+	err := par.Replicate(ctx, len(policies), func(ctx context.Context, i int) error {
+		policy := policies[i]
+		res, err := analysis.RunPropagation(ctx, analysis.PropagationConfig{
 			Seed:                    9,
 			NumReachable:            50,
 			Duration:                2 * time.Hour,
@@ -45,9 +54,16 @@ func run() error {
 		}
 		blocks := analysis.SummarizeRelays(res.BlockRelays)
 		txs := analysis.SummarizeRelays(res.TxRelays)
-		fmt.Printf("%-18s %9.2fs %9.2fs %9.2fs %9.2fs %11.1f%%\n",
+		rows[i] = fmt.Sprintf("%-18s %9.2fs %9.2fs %9.2fs %9.2fs %11.1f%%",
 			policy, blocks.Mean, blocks.P99, blocks.Max, txs.Max,
 			100*stats.Mean(res.ObservedSyncSamples))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		fmt.Println(row)
 	}
 
 	fmt.Println("\nexpectation (paper §IV-C/§V): under round-robin, block announcements")

@@ -1,10 +1,12 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/node"
+	"repro/internal/par"
 	"repro/internal/stats"
 )
 
@@ -66,22 +68,25 @@ type AblationResult struct {
 
 // RunAblation measures every variant on an identical workload, plus a
 // cold-start connection experiment per variant for the addressing
-// refinements.
-func RunAblation(base PropagationConfig, variants []AblationVariant) (*AblationResult, error) {
+// refinements. Variants run concurrently (par.Replicate); each writes
+// its row into a variant-indexed slot, so Rows keeps StockVariants
+// order and every variant still sees the identical base seed.
+func RunAblation(ctx context.Context, base PropagationConfig, variants []AblationVariant) (*AblationResult, error) {
 	if len(variants) == 0 {
 		variants = StockVariants()
 	}
-	res := &AblationResult{}
-	for _, v := range variants {
+	res := &AblationResult{Rows: make([]AblationRow, len(variants))}
+	err := par.Replicate(ctx, len(variants), func(ctx context.Context, i int) error {
+		v := variants[i]
 		cfg := base
 		cfg.RelayPolicy = v.RelayPolicy
 		cfg.TriedOnlyGetAddr = v.TriedOnlyGetAddr
 		cfg.AddrHorizon = v.AddrHorizon
-		out, err := RunPropagation(cfg)
+		out, err := RunPropagation(ctx, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("analysis: ablation %q: %w", v.Name, err)
+			return fmt.Errorf("analysis: ablation %q: %w", v.Name, err)
 		}
-		cold, err := RunConnExperiment(ConnExperimentConfig{
+		cold, err := RunConnExperiment(ctx, ConnExperimentConfig{
 			Seed:              base.Seed,
 			LivePeers:         base.NumReachable / 2,
 			Duration:          5 * time.Minute,
@@ -92,7 +97,7 @@ func RunAblation(base PropagationConfig, variants []AblationVariant) (*AblationR
 			Runs:              3,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("analysis: ablation cold-start %q: %w", v.Name, err)
+			return fmt.Errorf("analysis: ablation cold-start %q: %w", v.Name, err)
 		}
 		row := AblationRow{
 			Variant:              v,
@@ -116,7 +121,11 @@ func RunAblation(base PropagationConfig, variants []AblationVariant) (*AblationR
 			row.MeanBlockRelay = sum / time.Duration(len(out.BlockRelays))
 			row.MaxBlockRelay = max
 		}
-		res.Rows = append(res.Rows, row)
+		res.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

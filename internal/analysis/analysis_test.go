@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -23,7 +24,7 @@ func smallPropConfig(seed int64) PropagationConfig {
 }
 
 func TestRunPropagationBasics(t *testing.T) {
-	res, err := RunPropagation(smallPropConfig(1))
+	res, err := RunPropagation(context.Background(), smallPropConfig(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestRunPropagationBasics(t *testing.T) {
 }
 
 func TestRunPropagationRejectsTinyNetwork(t *testing.T) {
-	if _, err := RunPropagation(PropagationConfig{NumReachable: 2}); err == nil {
+	if _, err := RunPropagation(context.Background(), PropagationConfig{NumReachable: 2}); err == nil {
 		t.Error("want error for tiny network")
 	}
 }
@@ -69,7 +70,7 @@ func TestObservedSyncBelowTrueSync(t *testing.T) {
 	// delay guarantees observed <= true on average.
 	cfg := smallPropConfig(2)
 	cfg.ChurnDeparturesPer10Min = 0.5
-	res, err := RunPropagation(cfg)
+	res, err := RunPropagation(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,11 +89,11 @@ func TestChurnReducesObservedSync(t *testing.T) {
 	lo.ChurnDeparturesPer10Min = 0.2
 	hi := smallPropConfig(3)
 	hi.ChurnDeparturesPer10Min = 2.0
-	resLo, err := RunPropagation(lo)
+	resLo, err := RunPropagation(context.Background(), lo)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resHi, err := RunPropagation(hi)
+	resHi, err := RunPropagation(context.Background(), hi)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestChurnReducesObservedSync(t *testing.T) {
 }
 
 func TestRunFig1Contrast(t *testing.T) {
-	res, err := RunFig1(Fig1Config{
+	res, err := RunFig1(context.Background(), Fig1Config{
 		Seed:         4,
 		NumReachable: 40,
 		Duration:     4 * time.Hour,
@@ -132,7 +133,7 @@ func TestRunFig1Contrast(t *testing.T) {
 
 func TestRunCrawlSeriesSmall(t *testing.T) {
 	p := netgen.DefaultParams(5, 0.02)
-	res, err := RunCrawlSeries(CrawlSeriesConfig{
+	res, err := RunCrawlSeries(context.Background(), CrawlSeriesConfig{
 		Params:                 p,
 		Experiments:            10,
 		ScannerStartExperiment: 3,
@@ -191,7 +192,7 @@ func TestRunCrawlSeriesSmall(t *testing.T) {
 
 func TestCrawlSeriesFindsMalicious(t *testing.T) {
 	p := netgen.DefaultParams(6, 0.2)
-	res, err := RunCrawlSeries(CrawlSeriesConfig{
+	res, err := RunCrawlSeries(context.Background(), CrawlSeriesConfig{
 		Params:      p,
 		Experiments: 3,
 		// Skip the scan: this test only needs the flooder detection.
@@ -222,7 +223,7 @@ func TestCrawlSeriesFindsMalicious(t *testing.T) {
 }
 
 func TestRunConnExperiment(t *testing.T) {
-	res, err := RunConnExperiment(ConnExperimentConfig{
+	res, err := RunConnExperiment(context.Background(), ConnExperimentConfig{
 		Seed:              7,
 		LivePeers:         30,
 		Duration:          260 * time.Second,
@@ -262,7 +263,7 @@ func TestRunConnExperiment(t *testing.T) {
 }
 
 func TestRunResync(t *testing.T) {
-	res, err := RunResync(ConnExperimentConfig{
+	res, err := RunResync(context.Background(), ConnExperimentConfig{
 		Seed:      8,
 		LivePeers: 30,
 	})
@@ -281,7 +282,7 @@ func TestRunResync(t *testing.T) {
 }
 
 func TestRunChurnFigs(t *testing.T) {
-	res, err := RunChurnFigs(ChurnFigsConfig{
+	res, err := RunChurnFigs(context.Background(), ChurnFigsConfig{
 		Params: netgen.DefaultParams(9, 0.02),
 	})
 	if err != nil {
@@ -309,7 +310,7 @@ func TestRunChurnFigs(t *testing.T) {
 }
 
 func TestRunSyncDepartures(t *testing.T) {
-	res, err := RunSyncDepartures(10, 0.05, time.Hour)
+	res, err := RunSyncDepartures(context.Background(), 10, 0.05, time.Hour)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +331,7 @@ func TestRunAblation(t *testing.T) {
 		{Name: "priority", RelayPolicy: node.PriorityOutbound},
 		{Name: "broadcast", RelayPolicy: node.Broadcast},
 	}
-	res, err := RunAblation(base, variants)
+	res, err := RunAblation(context.Background(), base, variants)
 	if err != nil {
 		t.Fatal(err)
 	}

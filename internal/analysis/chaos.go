@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"time"
@@ -137,7 +138,7 @@ type ChaosResult struct {
 }
 
 // RunChaos executes the chaos scenario.
-func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosResult, error) {
 	cfg = cfg.withDefaults()
 	if cfg.NumNodes < 4 {
 		return nil, fmt.Errorf("analysis: chaos needs at least 4 nodes, got %d", cfg.NumNodes)
@@ -254,7 +255,9 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	}
 	sched.After(15*time.Second, watch)
 
-	sched.RunFor(cfg.Duration)
+	if err := sched.RunForCtx(ctx, cfg.Duration); err != nil {
+		return nil, err
+	}
 
 	tip, minerHeight := net.Host(miner).Node().Chain().Tip()
 	res.MinerHeight = minerHeight

@@ -1,12 +1,13 @@
 package analysis
 
 import (
+	"context"
 	"testing"
 	"time"
 )
 
 func TestRunChaosConvergesAndRecovers(t *testing.T) {
-	res, err := RunChaos(ChaosConfig{
+	res, err := RunChaos(context.Background(), ChaosConfig{
 		Seed:     9,
 		NumNodes: 8,
 		Duration: 30 * time.Minute,

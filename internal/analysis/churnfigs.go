@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -45,7 +46,10 @@ type ChurnFigsResult struct {
 }
 
 // RunChurnFigs builds the universe, the matrix, and the daily series.
-func RunChurnFigs(cfg ChurnFigsConfig) (*ChurnFigsResult, error) {
+func RunChurnFigs(ctx context.Context, cfg ChurnFigsConfig) (*ChurnFigsResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if cfg.MatrixInterval == 0 {
 		cfg.MatrixInterval = 24 * time.Hour
 	}
@@ -94,13 +98,19 @@ type SyncDepResult struct {
 // RunSyncDepartures measures both regimes at the given cadence (the
 // paper's Bitnodes feed is 10-minutely; coarser cadences run faster with
 // proportional counts).
-func RunSyncDepartures(seed int64, scale float64, interval time.Duration) (*SyncDepResult, error) {
+func RunSyncDepartures(ctx context.Context, seed int64, scale float64, interval time.Duration) (*SyncDepResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if interval == 0 {
 		interval = 10 * time.Minute
 	}
 	u19, err := netgen.Generate(netgen.Params2019(seed, scale))
 	if err != nil {
 		return nil, fmt.Errorf("analysis: 2019 universe: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	u20, err := netgen.Generate(netgen.DefaultParams(seed, scale))
 	if err != nil {

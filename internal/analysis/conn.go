@@ -1,12 +1,14 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/netip"
 	"time"
 
 	"repro/internal/node"
+	"repro/internal/par"
 	"repro/internal/simnet"
 	"repro/internal/wire"
 )
@@ -118,16 +120,18 @@ type ConnExperimentResult struct {
 
 // RunConnExperiment builds a background network, then starts a fresh
 // observer node whose address tables match the measured gossip mix, and
-// watches its outgoing connections — the §IV-B experiments.
-func RunConnExperiment(cfg ConnExperimentConfig) (*ConnExperimentResult, error) {
+// watches its outgoing connections — the §IV-B experiments. Runs execute
+// concurrently (par.Replicate), each on its own paired seed and
+// simulator; results land in run-indexed slots and the aggregates are
+// folded afterwards, so the result matches the former sequential loop.
+func RunConnExperiment(ctx context.Context, cfg ConnExperimentConfig) (*ConnExperimentResult, error) {
 	cfg = cfg.withDefaults()
 	if cfg.LivePeers < 8 {
 		return nil, fmt.Errorf("analysis: need at least 8 live peers, got %d", cfg.LivePeers)
 	}
-	res := &ConnExperimentResult{}
-	var sampleSum, sampleCount, below int
+	res := &ConnExperimentResult{Runs: make([]ConnRun, cfg.Runs)}
 
-	for run := 0; run < cfg.Runs; run++ {
+	err := par.Replicate(ctx, cfg.Runs, func(ctx context.Context, run int) error {
 		seed := cfg.Seed + int64(run)*1000
 		rng := rand.New(rand.NewSource(seed))
 		net := simnet.New(simnet.Config{
@@ -166,7 +170,9 @@ func RunConnExperiment(cfg ConnExperimentConfig) (*ConnExperimentResult, error) 
 		}
 		// Let the background network interconnect; with an 85% dead mix
 		// this takes a while, exactly as in the live network.
-		sched.RunFor(10 * time.Minute)
+		if err := sched.RunForCtx(ctx, 10*time.Minute); err != nil {
+			return err
+		}
 
 		// Background churn destabilizes the observer's connections.
 		if cfg.PeerChurnPer10Min > 0 {
@@ -216,7 +222,9 @@ func RunConnExperiment(cfg ConnExperimentConfig) (*ConnExperimentResult, error) 
 			sched.After(time.Duration(rng.ExpFloat64()*float64(cfg.ConnDropEvery)), dropTick)
 		}
 		if cfg.ObserverWarmup > 0 {
-			sched.RunFor(cfg.ObserverWarmup)
+			if err := sched.RunForCtx(ctx, cfg.ObserverWarmup); err != nil {
+				return err
+			}
 		}
 
 		cr := ConnRun{}
@@ -237,26 +245,32 @@ func RunConnExperiment(cfg ConnExperimentConfig) (*ConnExperimentResult, error) 
 			sched.After(cfg.SampleEvery, sample)
 		}
 		sched.After(0, sample)
-		sched.RunUntil(end)
+		if err := sched.RunUntilCtx(ctx, end); err != nil {
+			return err
+		}
 
 		if n := observer.Node(); n != nil {
 			a, su := n.DialStats()
 			cr.Attempts, cr.Successes = a-measureStartAttempts, su-measureStartSuccesses
 		}
-		for _, s := range cr.Samples {
+		res.Runs[run] = cr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var attempts, successes, sampleSum, sampleCount, below int
+	for _, r := range res.Runs {
+		attempts += r.Attempts
+		successes += r.Successes
+		for _, s := range r.Samples {
 			sampleSum += s
 			sampleCount++
 			if s < node.DefaultMaxOutbound {
 				below++
 			}
 		}
-		res.Runs = append(res.Runs, cr)
-	}
-
-	var attempts, successes int
-	for _, r := range res.Runs {
-		attempts += r.Attempts
-		successes += r.Successes
 	}
 	if attempts > 0 {
 		res.SuccessRate = float64(successes) / float64(attempts)
@@ -339,7 +353,7 @@ type ResyncResult struct {
 
 // RunResync restarts a node inside a live network and measures its
 // recovery milestones.
-func RunResync(cfg ConnExperimentConfig) (*ResyncResult, error) {
+func RunResync(ctx context.Context, cfg ConnExperimentConfig) (*ResyncResult, error) {
 	cfg = cfg.withDefaults()
 	if cfg.LivePeers < 8 {
 		return nil, fmt.Errorf("analysis: need at least 8 live peers, got %d", cfg.LivePeers)
@@ -371,7 +385,9 @@ func RunResync(cfg ConnExperimentConfig) (*ResyncResult, error) {
 		dead[i] = netip.AddrPortFrom(
 			netip.AddrFrom4([4]byte{172, 21, byte(i >> 8), byte(i)}), 8333)
 	}
-	sched.RunFor(time.Minute)
+	if err := sched.RunForCtx(ctx, time.Minute); err != nil {
+		return nil, err
+	}
 	// Build some chain history the restarted node must catch up on.
 	// (The restarted observer below also gets a stale tried table, the
 	// address-manager state a real restart inherits.)
@@ -382,7 +398,9 @@ func RunResync(cfg ConnExperimentConfig) (*ResyncResult, error) {
 				_, _ = n.MineBlock(0)
 			}
 		})
-		sched.RunFor(30 * time.Second)
+		if err := sched.RunForCtx(ctx, 30*time.Second); err != nil {
+			return nil, err
+		}
 	}
 
 	res := &ResyncResult{}
@@ -428,7 +446,9 @@ func RunResync(cfg ConnExperimentConfig) (*ResyncResult, error) {
 		sched.After(time.Second, watch)
 	}
 	sched.After(0, watch)
-	sched.RunUntil(end)
+	if err := sched.RunUntilCtx(ctx, end); err != nil {
+		return nil, err
+	}
 
 	if res.ToSynced == 0 {
 		return nil, fmt.Errorf("analysis: node failed to resync within 30 minutes")

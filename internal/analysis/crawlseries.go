@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"sort"
@@ -105,16 +106,18 @@ type CrawlSeriesResult struct {
 
 // RunCrawlSeries generates the universe and performs the full
 // longitudinal crawl + scan study.
-func RunCrawlSeries(cfg CrawlSeriesConfig) (*CrawlSeriesResult, error) {
+func RunCrawlSeries(ctx context.Context, cfg CrawlSeriesConfig) (*CrawlSeriesResult, error) {
 	u, err := netgen.Generate(cfg.Params)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: generate universe: %w", err)
 	}
-	return RunCrawlSeriesOn(u, cfg)
+	return RunCrawlSeriesOn(ctx, u, cfg)
 }
 
-// RunCrawlSeriesOn runs the study over an existing universe.
-func RunCrawlSeriesOn(u *netgen.Universe, cfg CrawlSeriesConfig) (*CrawlSeriesResult, error) {
+// RunCrawlSeriesOn runs the study over an existing universe. The
+// per-experiment loop checks ctx between crawls and stops with ctx.Err()
+// when cancelled.
+func RunCrawlSeriesOn(ctx context.Context, u *netgen.Universe, cfg CrawlSeriesConfig) (*CrawlSeriesResult, error) {
 	p := u.Params
 	total := int(p.Horizon / p.CrawlInterval)
 	if cfg.Experiments > 0 && cfg.Experiments < total {
@@ -144,6 +147,9 @@ func RunCrawlSeriesOn(u *netgen.Universe, cfg CrawlSeriesConfig) (*CrawlSeriesRe
 	countedResponsive := make(map[netip.AddrPort]struct{})
 
 	for i := 0; i < total; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		at := p.Epoch.Add(time.Duration(i) * p.CrawlInterval)
 		view := crawler.NewUniverseView(u, at)
 		seedView := u.SeedViewAt(at)

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/netgen"
@@ -13,7 +14,7 @@ func TestCrawlSeriesScanSampling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := RunCrawlSeriesOn(u, CrawlSeriesConfig{
+	full, err := RunCrawlSeriesOn(context.Background(), u, CrawlSeriesConfig{
 		Experiments:            4,
 		ScannerStartExperiment: 0,
 		ScanSampleFraction:     1.0,
@@ -21,7 +22,7 @@ func TestCrawlSeriesScanSampling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sampled, err := RunCrawlSeriesOn(u, CrawlSeriesConfig{
+	sampled, err := RunCrawlSeriesOn(context.Background(), u, CrawlSeriesConfig{
 		Experiments:            4,
 		ScannerStartExperiment: 0,
 		ScanSampleFraction:     0.25,
@@ -45,11 +46,11 @@ func TestCrawlSeriesOnReusedUniverse(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := CrawlSeriesConfig{Experiments: 3, ScannerStartExperiment: 99}
-	a, err := RunCrawlSeriesOn(u, cfg)
+	a, err := RunCrawlSeriesOn(context.Background(), u, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunCrawlSeriesOn(u, cfg)
+	b, err := RunCrawlSeriesOn(context.Background(), u, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestCrawlSeriesOnReusedUniverse(t *testing.T) {
 func TestCrawlSeriesInvalidHorizon(t *testing.T) {
 	p := netgen.DefaultParams(33, 0.02)
 	p.CrawlInterval = p.Horizon * 2
-	if _, err := RunCrawlSeries(CrawlSeriesConfig{Params: p}); err == nil {
+	if _, err := RunCrawlSeries(context.Background(), CrawlSeriesConfig{Params: p}); err == nil {
 		t.Error("want error when horizon is shorter than crawl interval")
 	}
 }

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -18,11 +19,11 @@ func TestRunPropagationDeterministic(t *testing.T) {
 		TxPerBlock:              20,
 		ChurnDeparturesPer10Min: 1,
 	}
-	a, err := RunPropagation(cfg)
+	a, err := RunPropagation(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunPropagation(cfg)
+	b, err := RunPropagation(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,11 +67,11 @@ func TestSeedChangesOutcome(t *testing.T) {
 	a.Seed = 1
 	b := base
 	b.Seed = 2
-	ra, err := RunPropagation(a)
+	ra, err := RunPropagation(context.Background(), a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := RunPropagation(b)
+	rb, err := RunPropagation(context.Background(), b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,11 +97,11 @@ func TestChaosObservabilityGolden(t *testing.T) {
 		CrashAt:  8 * time.Minute,
 		CrashFor: 4 * time.Minute,
 	}
-	a, err := RunChaos(cfg)
+	a, err := RunChaos(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunChaos(cfg)
+	b, err := RunChaos(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestChaosObservabilityGolden(t *testing.T) {
 	}
 
 	cfg.Seed = 42
-	c, err := RunChaos(cfg)
+	c, err := RunChaos(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,11 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"repro/internal/par"
 	"repro/internal/stats"
 )
 
@@ -100,8 +102,10 @@ func summarizeRegime(samples []float64) (RegimeSync, error) {
 }
 
 // RunFig1 runs both regimes and returns their synchronization
-// distributions.
-func RunFig1(cfg Fig1Config) (*Fig1Result, error) {
+// distributions. Replications run concurrently (par.Replicate), each on
+// its own paired seed and simulator; samples are pooled in replication
+// order, so the result is identical to the former sequential loop.
+func RunFig1(ctx context.Context, cfg Fig1Config) (*Fig1Result, error) {
 	cfg = cfg.withDefaults()
 	base := PropagationConfig{
 		Seed:          cfg.Seed,
@@ -115,30 +119,39 @@ func RunFig1(cfg Fig1Config) (*Fig1Result, error) {
 	// the precomputed block schedule and topology are identical, so the
 	// contrast isolates the churn difference (common random numbers).
 	// Replications with different seeds are pooled.
-	run := func(churn float64, seed int64) ([]float64, error) {
+	run := func(ctx context.Context, churn float64, seed int64) ([]float64, error) {
 		pc := base
 		pc.Seed = seed
 		pc.ChurnDeparturesPer10Min = churn
-		res, err := RunPropagation(pc)
+		res, err := RunPropagation(ctx, pc)
 		if err != nil {
 			return nil, err
 		}
 		return res.ObservedSyncSamples, nil
 	}
 
+	rep19 := make([][]float64, cfg.Replications)
+	rep20 := make([][]float64, cfg.Replications)
+	err := par.Replicate(ctx, cfg.Replications, func(ctx context.Context, r int) error {
+		seed := cfg.Seed + int64(r)*7919
+		s19, err := run(ctx, cfg.Churn2019, seed)
+		if err != nil {
+			return fmt.Errorf("analysis: 2019 regime (rep %d): %w", r, err)
+		}
+		s20, err := run(ctx, cfg.Churn2020, seed)
+		if err != nil {
+			return fmt.Errorf("analysis: 2020 regime (rep %d): %w", r, err)
+		}
+		rep19[r], rep20[r] = s19, s20
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var samples19, samples20 []float64
 	for r := 0; r < cfg.Replications; r++ {
-		seed := cfg.Seed + int64(r)*7919
-		s19, err := run(cfg.Churn2019, seed)
-		if err != nil {
-			return nil, fmt.Errorf("analysis: 2019 regime (rep %d): %w", r, err)
-		}
-		s20, err := run(cfg.Churn2020, seed)
-		if err != nil {
-			return nil, fmt.Errorf("analysis: 2020 regime (rep %d): %w", r, err)
-		}
-		samples19 = append(samples19, s19...)
-		samples20 = append(samples20, s20...)
+		samples19 = append(samples19, rep19[r]...)
+		samples20 = append(samples20, rep20[r]...)
 	}
 	y19, err := summarizeRegime(samples19)
 	if err != nil {

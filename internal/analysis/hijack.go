@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/netip"
@@ -67,7 +68,7 @@ type HijackResult struct {
 }
 
 // RunHijack executes the partition experiment.
-func RunHijack(cfg HijackConfig) (*HijackResult, error) {
+func RunHijack(ctx context.Context, cfg HijackConfig) (*HijackResult, error) {
 	cfg = cfg.withDefaults()
 	if cfg.NumReachable < 10 {
 		return nil, fmt.Errorf("analysis: hijack needs at least 10 nodes, got %d", cfg.NumReachable)
@@ -126,7 +127,9 @@ func RunHijack(cfg HijackConfig) (*HijackResult, error) {
 		})
 		hosts[i].host.Start()
 	}
-	sched.RunFor(cfg.At)
+	if err := sched.RunForCtx(ctx, cfg.At); err != nil {
+		return nil, err
+	}
 
 	// Identify the top-k ASes by hosted nodes.
 	census := asmap.NewCensus()
@@ -201,7 +204,9 @@ func RunHijack(cfg HijackConfig) (*HijackResult, error) {
 		sched.After(time.Duration(rng.ExpFloat64()*float64(5*time.Minute)), mineTick)
 	}
 	sched.After(time.Minute, mineTick)
-	sched.RunUntil(end)
+	if err := sched.RunUntilCtx(ctx, end); err != nil {
+		return nil, err
+	}
 
 	// Post-hijack measurements.
 	outSum = 0

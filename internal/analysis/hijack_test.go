@@ -1,12 +1,13 @@
 package analysis
 
 import (
+	"context"
 	"testing"
 	"time"
 )
 
 func TestRunHijack(t *testing.T) {
-	res, err := RunHijack(HijackConfig{
+	res, err := RunHijack(context.Background(), HijackConfig{
 		Seed:          51,
 		NumReachable:  60,
 		HijackTopASes: 5,
@@ -36,7 +37,7 @@ func TestRunHijack(t *testing.T) {
 }
 
 func TestRunHijackRejectsTiny(t *testing.T) {
-	if _, err := RunHijack(HijackConfig{NumReachable: 5}); err == nil {
+	if _, err := RunHijack(context.Background(), HijackConfig{NumReachable: 5}); err == nil {
 		t.Error("want error for tiny network")
 	}
 }

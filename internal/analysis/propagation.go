@@ -6,6 +6,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/netip"
@@ -181,8 +182,10 @@ type relayKey struct {
 	hash [32]byte
 }
 
-// RunPropagation executes the experiment and aggregates its events.
-func RunPropagation(cfg PropagationConfig) (*PropagationResult, error) {
+// RunPropagation executes the experiment and aggregates its events. The
+// simulation polls ctx periodically and stops mid-run with ctx.Err()
+// when cancelled.
+func RunPropagation(ctx context.Context, cfg PropagationConfig) (*PropagationResult, error) {
 	cfg = cfg.withDefaults()
 	if cfg.NumReachable < 3 {
 		return nil, fmt.Errorf("analysis: need at least 3 reachable nodes, got %d", cfg.NumReachable)
@@ -328,7 +331,9 @@ func RunPropagation(cfg PropagationConfig) (*PropagationResult, error) {
 	}
 
 	// Warmup: let the topology form.
-	sched.RunFor(cfg.Warmup)
+	if err := sched.RunForCtx(ctx, cfg.Warmup); err != nil {
+		return nil, err
+	}
 	measuring = true
 
 	end := net.Now().Add(cfg.Duration)
@@ -497,7 +502,9 @@ func RunPropagation(cfg PropagationConfig) (*PropagationResult, error) {
 		})
 	}
 
-	sched.RunUntil(end)
+	if err := sched.RunUntilCtx(ctx, end); err != nil {
+		return nil, err
+	}
 	measuring = false
 
 	// Fold per-(node, object) relay maps into observation lists, sorted

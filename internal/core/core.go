@@ -6,12 +6,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 
 	"repro/internal/obs"
+	"repro/internal/par"
 )
 
 // Options tune an experiment run.
@@ -190,8 +192,18 @@ type Experiment struct {
 	Title string
 	// Section cites the paper section.
 	Section string
-	// Run executes the experiment.
-	Run func(Options) (*Report, error)
+	// Run executes the experiment. It honours ctx: long simulations poll
+	// it periodically and return ctx.Err() mid-run when cancelled.
+	Run func(context.Context, Options) (*Report, error)
+}
+
+// Replicate runs fn(ctx, rep) for every replication in [0, n)
+// concurrently and deterministically; it is par.Replicate re-exported so
+// experiment code layered on core need not import the engine package.
+// Callers derive per-replication seeds from rep and write results into
+// rep-indexed slots.
+func Replicate(ctx context.Context, n int, fn func(ctx context.Context, rep int) error) error {
+	return par.Replicate(ctx, n, fn)
 }
 
 // registry returns all experiments, built lazily so the experiment files
@@ -236,23 +248,21 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// RunAll executes every experiment, rendering each to w as it completes.
-// Each run is wrapped in an obs profile, so every report carries its
-// wall time and allocator footprint. It returns the first error.
+// RunAll executes every experiment sequentially, rendering each to w as
+// it completes.
+//
+// Deprecated: RunAll is a thin shim over Runner for callers predating
+// the parallel engine; use Runner{...}.Run(ctx, Experiments(), w) to
+// control worker count and cancellation.
 func RunAll(opts Options, w io.Writer) error {
-	for _, e := range Experiments() {
-		stop := obs.StartProfile()
-		rep, err := e.Run(opts)
-		if err != nil {
-			return fmt.Errorf("core: %s: %w", e.ID, err)
-		}
-		rep.Profile = stop()
-		if err := rep.Render(w); err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintln(w); err != nil {
-			return err
-		}
-	}
-	return nil
+	r := Runner{Workers: 1, Options: opts}
+	return r.Run(context.Background(), Experiments(), w)
+}
+
+// RunExperiment executes one experiment without cancellation support.
+//
+// Deprecated: shim for callers predating the context-aware Run
+// signature; call e.Run(ctx, opts) directly.
+func RunExperiment(e Experiment, opts Options) (*Report, error) {
+	return e.Run(context.Background(), opts)
 }

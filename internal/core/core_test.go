@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -53,7 +54,7 @@ func TestRunEveryExperimentQuick(t *testing.T) {
 	for _, e := range Experiments() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			rep, err := e.Run(opts)
+			rep, err := e.Run(context.Background(), opts)
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -19,7 +20,7 @@ func chaosExperiment() Experiment {
 		ID:      "chaos",
 		Title:   "Fault-injection chaos scenario: partition, crash wave, lossy links",
 		Section: "§IV-D (robustness extension)",
-		Run: func(opts Options) (*Report, error) {
+		Run: func(ctx context.Context, opts Options) (*Report, error) {
 			opts = opts.withDefaults()
 			cfg := analysis.ChaosConfig{
 				Seed:     opts.Seed,
@@ -29,7 +30,7 @@ func chaosExperiment() Experiment {
 				cfg.NumNodes = 8
 				cfg.Duration = 30 * time.Minute
 			}
-			res, err := analysis.RunChaos(cfg)
+			res, err := analysis.RunChaos(ctx, cfg)
 			if err != nil {
 				return nil, err
 			}

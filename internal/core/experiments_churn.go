@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -17,9 +18,9 @@ func fig12Experiment() Experiment {
 		ID:      "fig12",
 		Title:   "Binary presence matrix of reachable addresses",
 		Section: "§IV-D, Figure 12 / Algorithm 4",
-		Run: func(opts Options) (*Report, error) {
+		Run: func(ctx context.Context, opts Options) (*Report, error) {
 			opts = opts.withDefaults()
-			res, err := analysis.RunChurnFigs(analysis.ChurnFigsConfig{
+			res, err := analysis.RunChurnFigs(ctx, analysis.ChurnFigsConfig{
 				Params: netgen.DefaultParams(opts.Seed, opts.Scale),
 			})
 			if err != nil {
@@ -45,9 +46,9 @@ func fig13Experiment() Experiment {
 		ID:      "fig13",
 		Title:   "Daily node arrivals and departures",
 		Section: "§IV-D, Figure 13",
-		Run: func(opts Options) (*Report, error) {
+		Run: func(ctx context.Context, opts Options) (*Report, error) {
 			opts = opts.withDefaults()
-			res, err := analysis.RunChurnFigs(analysis.ChurnFigsConfig{
+			res, err := analysis.RunChurnFigs(ctx, analysis.ChurnFigsConfig{
 				Params: netgen.DefaultParams(opts.Seed, opts.Scale),
 			})
 			if err != nil {
@@ -81,13 +82,13 @@ func syncDepExperiment() Experiment {
 		ID:      "syncdep",
 		Title:   "Synchronized-node departures, 2019 vs 2020",
 		Section: "§IV-D",
-		Run: func(opts Options) (*Report, error) {
+		Run: func(ctx context.Context, opts Options) (*Report, error) {
 			opts = opts.withDefaults()
 			interval := 10 * time.Minute
 			if opts.Quick {
 				interval = time.Hour
 			}
-			res, err := analysis.RunSyncDepartures(opts.Seed, opts.Scale, interval)
+			res, err := analysis.RunSyncDepartures(ctx, opts.Seed, opts.Scale, interval)
 			if err != nil {
 				return nil, err
 			}

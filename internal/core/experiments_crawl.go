@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -27,7 +28,7 @@ var (
 
 // crawlSeriesFor returns the (possibly cached) longitudinal study for
 // opts.
-func crawlSeriesFor(opts Options) (*analysis.CrawlSeriesResult, error) {
+func crawlSeriesFor(ctx context.Context, opts Options) (*analysis.CrawlSeriesResult, error) {
 	opts = opts.withDefaults()
 	key := crawlKey{seed: opts.Seed, scale: opts.Scale, quick: opts.Quick}
 	crawlMu.Lock()
@@ -45,7 +46,7 @@ func crawlSeriesFor(opts Options) (*analysis.CrawlSeriesResult, error) {
 		cfg.Experiments = 12
 		cfg.ScannerStartExperiment = 3
 	}
-	res, err := analysis.RunCrawlSeries(cfg)
+	res, err := analysis.RunCrawlSeries(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -67,8 +68,8 @@ func fig3Experiment() Experiment {
 		ID:      "fig3",
 		Title:   "Seed databases, exclusions, and crawler connections",
 		Section: "§III-A, Figure 3",
-		Run: func(opts Options) (*Report, error) {
-			res, err := crawlSeriesFor(opts)
+		Run: func(ctx context.Context, opts Options) (*Report, error) {
+			res, err := crawlSeriesFor(ctx, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -120,8 +121,8 @@ func fig4Experiment() Experiment {
 		ID:      "fig4",
 		Title:   "Unreachable addresses per experiment and cumulative",
 		Section: "§IV-A, Figure 4",
-		Run: func(opts Options) (*Report, error) {
-			res, err := crawlSeriesFor(opts)
+		Run: func(ctx context.Context, opts Options) (*Report, error) {
+			res, err := crawlSeriesFor(ctx, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -161,8 +162,8 @@ func fig5Experiment() Experiment {
 		ID:      "fig5",
 		Title:   "Responsive unreachable nodes per experiment and cumulative",
 		Section: "§IV-A, Figure 5",
-		Run: func(opts Options) (*Report, error) {
-			res, err := crawlSeriesFor(opts)
+		Run: func(ctx context.Context, opts Options) (*Report, error) {
+			res, err := crawlSeriesFor(ctx, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -211,8 +212,8 @@ func fig8Experiment() Experiment {
 		ID:      "fig8",
 		Title:   "Reachable nodes flooding unreachable-only ADDR responses",
 		Section: "§IV-B, Figure 8",
-		Run: func(opts Options) (*Report, error) {
-			res, err := crawlSeriesFor(opts)
+		Run: func(ctx context.Context, opts Options) (*Report, error) {
+			res, err := crawlSeriesFor(ctx, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -263,8 +264,8 @@ func table1Experiment() Experiment {
 		ID:      "table1",
 		Title:   "Top-20 ASes per node class and hijack coverage",
 		Section: "§IV-A1, Table I",
-		Run: func(opts Options) (*Report, error) {
-			res, err := crawlSeriesFor(opts)
+		Run: func(ctx context.Context, opts Options) (*Report, error) {
+			res, err := crawlSeriesFor(ctx, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -305,8 +306,8 @@ func addrMixExperiment() Experiment {
 		ID:      "addrmix",
 		Title:   "Reachable/unreachable composition of ADDR messages",
 		Section: "§IV-A2",
-		Run: func(opts Options) (*Report, error) {
-			res, err := crawlSeriesFor(opts)
+		Run: func(ctx context.Context, opts Options) (*Report, error) {
+			res, err := crawlSeriesFor(ctx, opts)
 			if err != nil {
 				return nil, err
 			}

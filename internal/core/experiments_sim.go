@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -18,7 +19,7 @@ func fig1Experiment() Experiment {
 		ID:      "fig1",
 		Title:   "Network synchronization in 2019 vs 2020 (kernel density)",
 		Section: "§I, Figure 1",
-		Run: func(opts Options) (*Report, error) {
+		Run: func(ctx context.Context, opts Options) (*Report, error) {
 			opts = opts.withDefaults()
 			cfg := analysis.Fig1Config{
 				Seed:         opts.Seed,
@@ -32,7 +33,7 @@ func fig1Experiment() Experiment {
 				cfg.Duration = 3 * time.Hour
 				cfg.Replications = 1
 			}
-			res, err := analysis.RunFig1(cfg)
+			res, err := analysis.RunFig1(ctx, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -81,7 +82,7 @@ func fig6Experiment() Experiment {
 		ID:      "fig6",
 		Title:   "Outgoing connection stability over 260 seconds",
 		Section: "§IV-B, Figure 6",
-		Run: func(opts Options) (*Report, error) {
+		Run: func(ctx context.Context, opts Options) (*Report, error) {
 			opts = opts.withDefaults()
 			cfg := analysis.ConnExperimentConfig{
 				Seed:              opts.Seed,
@@ -93,7 +94,7 @@ func fig6Experiment() Experiment {
 				ConnDropEvery:     45 * time.Second,
 				Runs:              1,
 			}
-			res, err := analysis.RunConnExperiment(cfg)
+			res, err := analysis.RunConnExperiment(ctx, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -128,7 +129,7 @@ func fig7Experiment() Experiment {
 		ID:      "fig7",
 		Title:   "Outgoing connection attempts vs successes (5 runs)",
 		Section: "§IV-B, Figure 7",
-		Run: func(opts Options) (*Report, error) {
+		Run: func(ctx context.Context, opts Options) (*Report, error) {
 			opts = opts.withDefaults()
 			cfg := analysis.ConnExperimentConfig{
 				Seed:              opts.Seed,
@@ -139,7 +140,7 @@ func fig7Experiment() Experiment {
 				ConnDropEvery:     40 * time.Second,
 				Runs:              5,
 			}
-			res, err := analysis.RunConnExperiment(cfg)
+			res, err := analysis.RunConnExperiment(ctx, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -160,7 +161,7 @@ func fig7Experiment() Experiment {
 }
 
 // relayExperiment shares the Figure 10/11 workload.
-func relayExperiment(opts Options) (*analysis.PropagationResult, error) {
+func relayExperiment(ctx context.Context, opts Options) (*analysis.PropagationResult, error) {
 	opts = opts.withDefaults()
 	cfg := analysis.PropagationConfig{
 		Seed:                    opts.Seed,
@@ -177,7 +178,7 @@ func relayExperiment(opts Options) (*analysis.PropagationResult, error) {
 		cfg.Duration = 90 * time.Minute
 		cfg.TxPerBlock = 150
 	}
-	return analysis.RunPropagation(cfg)
+	return analysis.RunPropagation(ctx, cfg)
 }
 
 // fig10Experiment reproduces the block relay-delay distribution.
@@ -186,8 +187,8 @@ func fig10Experiment() Experiment {
 		ID:      "fig10",
 		Title:   "Block relay delay to the last connection",
 		Section: "§IV-C, Figure 10",
-		Run: func(opts Options) (*Report, error) {
-			res, err := relayExperiment(opts)
+		Run: func(ctx context.Context, opts Options) (*Report, error) {
+			res, err := relayExperiment(ctx, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -211,8 +212,8 @@ func fig11Experiment() Experiment {
 		ID:      "fig11",
 		Title:   "Transaction relay delay to the last connection",
 		Section: "§IV-C, Figure 11",
-		Run: func(opts Options) (*Report, error) {
-			res, err := relayExperiment(opts)
+		Run: func(ctx context.Context, opts Options) (*Report, error) {
+			res, err := relayExperiment(ctx, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -253,9 +254,9 @@ func resyncExperiment() Experiment {
 		ID:      "resync",
 		Title:   "Time for a restarted node to resynchronize",
 		Section: "§IV-D",
-		Run: func(opts Options) (*Report, error) {
+		Run: func(ctx context.Context, opts Options) (*Report, error) {
 			opts = opts.withDefaults()
-			res, err := analysis.RunResync(analysis.ConnExperimentConfig{
+			res, err := analysis.RunResync(ctx, analysis.ConnExperimentConfig{
 				Seed:      opts.Seed,
 				LivePeers: opts.NetSize / 2,
 			})
@@ -287,7 +288,7 @@ func hijackExperiment() Experiment {
 		ID:      "hijack",
 		Title:   "AS-hijack partition experiment (extension of §IV-A1)",
 		Section: "§IV-A1 (extension)",
-		Run: func(opts Options) (*Report, error) {
+		Run: func(ctx context.Context, opts Options) (*Report, error) {
 			opts = opts.withDefaults()
 			cfg := analysis.HijackConfig{
 				Seed:          opts.Seed,
@@ -298,7 +299,7 @@ func hijackExperiment() Experiment {
 				cfg.At = 15 * time.Minute
 				cfg.Observe = 15 * time.Minute
 			}
-			res, err := analysis.RunHijack(cfg)
+			res, err := analysis.RunHijack(ctx, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -325,7 +326,7 @@ func ablationExperiment() Experiment {
 		ID:      "ablation",
 		Title:   "§V refinements: tried-only ADDR, 17-day horizon, priority relay",
 		Section: "§V",
-		Run: func(opts Options) (*Report, error) {
+		Run: func(ctx context.Context, opts Options) (*Report, error) {
 			opts = opts.withDefaults()
 			base := analysis.PropagationConfig{
 				Seed:                    opts.Seed,
@@ -340,7 +341,7 @@ func ablationExperiment() Experiment {
 				base.Duration = time.Hour
 				base.TxPerBlock = 80
 			}
-			res, err := analysis.RunAblation(base, nil)
+			res, err := analysis.RunAblation(ctx, base, nil)
 			if err != nil {
 				return nil, err
 			}

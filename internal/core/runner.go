@@ -1,0 +1,115 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+	"repro/internal/par"
+)
+
+// Runner is the parallel experiment engine: it executes a slice of
+// experiments on a worker pool and merges their output deterministically.
+//
+// Each experiment runs on its own goroutine with its own seed-derived
+// randomness, registry, and tracer (experiments construct those
+// per-run), renders into a private buffer, and writes its CSV sidecars
+// to files keyed by its ID — no mutable state is shared across workers.
+// Reports are then emitted to the output writer in slice order, so the
+// rendered stream, the CSV directory, and every trace digest are
+// byte-identical whatever Workers is set to. Only the profile lines
+// (wall/alloc measurements, written to Profiles) are nondeterministic,
+// which is why they are kept off the report surface.
+type Runner struct {
+	// Workers is the pool size; zero or negative means GOMAXPROCS.
+	Workers int
+	// Options tune every experiment in the batch.
+	Options Options
+	// CSVDir, when non-empty, receives each report's CSV sidecars.
+	CSVDir string
+	// Profiles, when non-nil, receives one "  profile: ..." line per
+	// experiment as its report is emitted. Wall times are real time, so
+	// this stream is nondeterministic and must stay separate from w.
+	Profiles io.Writer
+}
+
+// runnerJob is one experiment's private result, handed from its worker
+// to the in-order merge loop.
+type runnerJob struct {
+	buf  bytes.Buffer
+	prof obs.Profile
+	ok   bool
+	done chan struct{}
+}
+
+// Run executes exps on the pool and renders each report to w in slice
+// order. The first failure cancels outstanding work and is returned
+// wrapped with its experiment ID; if ctx is cancelled, Run stops
+// mid-simulation and returns ctx.Err(). Output is streamed: a report is
+// written as soon as it and all its predecessors are done.
+func (r *Runner) Run(ctx context.Context, exps []Experiment, w io.Writer) error {
+	jobs := make([]runnerJob, len(exps))
+	for i := range jobs {
+		jobs[i].done = make(chan struct{})
+	}
+
+	forEachErr := make(chan error, 1)
+	go func() {
+		forEachErr <- par.ForEach(ctx, r.Workers, len(exps), func(ctx context.Context, i int) error {
+			defer close(jobs[i].done)
+			e := exps[i]
+			stop := obs.StartProfile()
+			rep, err := e.Run(ctx, r.Options)
+			if err != nil {
+				return fmt.Errorf("core: %s: %w", e.ID, err)
+			}
+			rep.Profile = stop()
+			jobs[i].prof = rep.Profile
+			if err := rep.Render(&jobs[i].buf); err != nil {
+				return fmt.Errorf("core: %s: %w", e.ID, err)
+			}
+			fmt.Fprintln(&jobs[i].buf)
+			if r.CSVDir != "" {
+				if err := rep.WriteCSV(r.CSVDir); err != nil {
+					return fmt.Errorf("core: %s: %w", e.ID, err)
+				}
+			}
+			jobs[i].ok = true
+			return nil
+		})
+	}()
+
+	// Merge loop: emit buffered reports in slice order. A job that
+	// failed (or was interrupted by the induced cancellation) stops the
+	// emission; the pool's deterministic error — the lowest-index real
+	// failure, or ctx.Err() — is what the caller sees. Jobs skipped
+	// after cancellation never close done, but they are all beyond the
+	// failing index, which the loop below never passes.
+	emitted := func() error {
+		for i := range jobs {
+			select {
+			case <-jobs[i].done:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			if !jobs[i].ok {
+				return fmt.Errorf("core: %s failed", exps[i].ID)
+			}
+			if _, err := w.Write(jobs[i].buf.Bytes()); err != nil {
+				return err
+			}
+			if r.Profiles != nil {
+				fmt.Fprintf(r.Profiles, "  profile: %s\n", jobs[i].prof)
+			}
+		}
+		return nil
+	}
+
+	emitErr := emitted()
+	if err := <-forEachErr; err != nil {
+		return err
+	}
+	return emitErr
+}

@@ -98,8 +98,8 @@ func (g *Gauge) Value() int64 {
 // (get-or-create) and then read and written lock-free through atomics;
 // the name index is kept sorted at registration time, so Snapshot walks
 // a pre-sorted list instead of sorting on every call — the allocation
-// and sort cost that made stats.Counters.Snapshot unsuitable for hot
-// paths.
+// and sort cost that made the since-removed stats.Counters type
+// unsuitable for hot paths.
 //
 // A Registry is safe for concurrent use. Experiments that must produce
 // byte-identical snapshots across same-seed runs use one private

@@ -100,8 +100,8 @@ func TestSnapshotSortedAndStable(t *testing.T) {
 	}
 }
 
-// TestConcurrentAddSnapshot is the -race coverage the stats.Counters
-// replacement requires: many goroutines adding while others snapshot
+// TestConcurrentAddSnapshot is the -race coverage replacing the removed
+// stats.Counters type requires: many goroutines adding while others snapshot
 // and create new metrics. Correctness: no race, and the final snapshot
 // sees every update.
 func TestConcurrentAddSnapshot(t *testing.T) {

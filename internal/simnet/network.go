@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 	"net/netip"
+	"sort"
 	"time"
 
 	"repro/internal/node"
@@ -215,11 +216,24 @@ func (n *Network) Rand() *rand.Rand { return n.rng }
 // Host returns the host registered at addr, or nil.
 func (n *Network) Host(addr netip.AddrPort) *Host { return n.hosts[addr] }
 
-// Hosts returns the registered hosts keyed by address. Map iteration
-// order is randomized; callers needing deterministic order should keep
-// their own list. Intended for measurement sweeps where order does not
-// matter.
-func (n *Network) Hosts() map[netip.AddrPort]*Host { return n.hosts }
+// HostList returns the registered hosts sorted by address. Returning a
+// fresh sorted slice (rather than the internal map, as the removed
+// Hosts() accessor did) keeps iteration deterministic and prevents
+// callers from aliasing or mutating the network's host table.
+func (n *Network) HostList() []*Host {
+	out := make([]*Host, 0, len(n.hosts))
+	for _, h := range n.hosts {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := out[i].addr, out[j].addr
+		if c := ai.Addr().Compare(aj.Addr()); c != 0 {
+			return c < 0
+		}
+		return ai.Port() < aj.Port()
+	})
+	return out
+}
 
 // AddFullNode registers a host at cfg.Self running the full node state
 // machine. The host starts offline; call Host.Start.

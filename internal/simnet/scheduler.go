@@ -8,6 +8,7 @@ package simnet
 
 import (
 	"container/heap"
+	"context"
 	"time"
 
 	"repro/internal/obs"
@@ -56,6 +57,12 @@ type Scheduler struct {
 	events eventHeap
 	count  uint64 // total events executed, for reporting
 
+	// free recycles event structs popped from the heap. The scheduler is
+	// single-threaded, so a plain slice beats sync.Pool: no locking, and
+	// the structs stay warm in cache. Capped so a burst does not pin
+	// memory forever.
+	free []*event
+
 	// Metric handles are nil (no-op) until SetMetrics installs a
 	// registry, so the hot loop pays one predictable branch when
 	// observability is off.
@@ -86,14 +93,40 @@ func (s *Scheduler) Executed() uint64 { return s.count }
 // Pending returns the number of queued events.
 func (s *Scheduler) Pending() int { return len(s.events) }
 
+// maxFree bounds the event free list so a transient queue-depth spike
+// does not pin its structs for the rest of the run.
+const maxFree = 4096
+
+// getEvent takes a recycled event struct or allocates a fresh one.
+func (s *Scheduler) getEvent(at int64, fn func()) *event {
+	s.seq++
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		ev.at, ev.seq, ev.fn = at, s.seq, fn
+		return ev
+	}
+	return &event{at: at, seq: s.seq, fn: fn}
+}
+
+// putEvent returns a popped event to the free list, dropping the fn
+// reference so the closure (and anything it captures) is released even
+// while the struct sits in the pool.
+func (s *Scheduler) putEvent(ev *event) {
+	ev.fn = nil
+	if len(s.free) < maxFree {
+		s.free = append(s.free, ev)
+	}
+}
+
 // At schedules fn at the absolute virtual time t. Times in the past run
 // at the current time (never rewinding the clock).
 func (s *Scheduler) At(t time.Time, fn func()) {
 	if t.Before(s.now) {
 		t = s.now
 	}
-	s.seq++
-	heap.Push(&s.events, &event{at: t.UnixNano(), seq: s.seq, fn: fn})
+	heap.Push(&s.events, s.getEvent(t.UnixNano(), fn))
 	s.mDepth.Set(int64(len(s.events)))
 	s.mDepthMax.SetMax(int64(len(s.events)))
 }
@@ -106,11 +139,26 @@ func (s *Scheduler) After(d time.Duration, fn func()) {
 	s.At(s.now.Add(d), fn)
 }
 
+// ctxCheckInterval is how many executed events pass between cancellation
+// checks in RunUntilCtx. Long simulations execute millions of events, so
+// checking a channel on every pop would be measurable; every 4096 events
+// keeps the response to Ctrl-C well under a millisecond of real time.
+const ctxCheckInterval = 4096
+
 // RunUntil executes events in order until the queue is empty or the next
 // event is after deadline. The clock ends at deadline (or the last event
 // time if it ran dry earlier and advanceToDeadline is honored).
 func (s *Scheduler) RunUntil(deadline time.Time) {
+	_ = s.RunUntilCtx(context.Background(), deadline)
+}
+
+// RunUntilCtx is RunUntil with cooperative cancellation: every
+// ctxCheckInterval executed events it polls ctx and stops mid-simulation
+// with ctx.Err() if the context is done. On cancellation the virtual
+// clock is left at the last executed event, not advanced to deadline.
+func (s *Scheduler) RunUntilCtx(ctx context.Context, deadline time.Time) error {
 	deadlineNS := deadline.UnixNano()
+	cancellable := ctx.Done() != nil
 	for len(s.events) > 0 {
 		next := s.events[0]
 		if next.at > deadlineNS {
@@ -121,16 +169,35 @@ func (s *Scheduler) RunUntil(deadline time.Time) {
 		s.count++
 		s.mDepth.Set(int64(len(s.events)))
 		s.mExecuted.Inc()
-		next.fn()
+		fn := next.fn
+		s.putEvent(next)
+		fn()
+		if cancellable && s.count%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	if cancellable {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
 	if s.now.Before(deadline) {
 		s.now = deadline
 	}
+	return nil
 }
 
 // RunFor advances the simulation by d.
 func (s *Scheduler) RunFor(d time.Duration) {
 	s.RunUntil(s.now.Add(d))
+}
+
+// RunForCtx advances the simulation by d with cooperative cancellation
+// (see RunUntilCtx).
+func (s *Scheduler) RunForCtx(ctx context.Context, d time.Duration) error {
+	return s.RunUntilCtx(ctx, s.now.Add(d))
 }
 
 // Drain executes every queued event regardless of time. Useful only for
@@ -144,6 +211,8 @@ func (s *Scheduler) Drain(maxEvents int) {
 		s.mDepth.Set(int64(len(s.events)))
 		s.mExecuted.Inc()
 		maxEvents--
-		ev.fn()
+		fn := ev.fn
+		s.putEvent(ev)
+		fn()
 	}
 }

@@ -215,8 +215,8 @@ func TestNetworkAccessors(t *testing.T) {
 	if h.Kind() != KindFull {
 		t.Errorf("Kind = %v, want KindFull", h.Kind())
 	}
-	if got := net.Hosts(); len(got) != 1 || got[a] != h {
-		t.Error("Hosts map inconsistent")
+	if got := net.HostList(); len(got) != 1 || got[0] != h {
+		t.Error("HostList inconsistent")
 	}
 	s := net.Scheduler()
 	if s.Pending() != 0 {
