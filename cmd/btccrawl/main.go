@@ -47,13 +47,18 @@ func run() error {
 	)
 	flag.Parse()
 
+	// The crawl counters (crawl.dials, crawl.connected, ...) always
+	// accumulate here; -pprof additionally serves them live at /metrics
+	// in Prometheus text format.
+	reg := obs.NewRegistry()
 	if *pprof {
 		srv, err := obs.StartPprof(*pprofAddr)
 		if err != nil {
 			return fmt.Errorf("pprof: %w", err)
 		}
 		defer srv.Close()
-		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", srv.Addr)
+		srv.Handle("/metrics", obs.PrometheusHandler(reg))
+		fmt.Printf("pprof listening on http://%s/debug/pprof/ (metrics at /metrics)\n", srv.Addr)
 	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -65,6 +70,7 @@ func run() error {
 		res, err := analysis.RunCrawlSeries(ctx, analysis.CrawlSeriesConfig{
 			Params:      params,
 			Experiments: *series,
+			Metrics:     reg,
 		})
 		if err != nil {
 			return err
@@ -91,7 +97,7 @@ func run() error {
 		seedView.BitnodesExcluded, seedView.DNSExcluded)
 
 	start := time.Now()
-	c := crawler.New(crawler.Config{}, view)
+	c := crawler.New(crawler.Config{Metrics: reg}, view)
 	snap, err := c.Crawl(at, crawler.TargetsOf(seedView), crawler.ReachableReference(seedView))
 	if err != nil {
 		return err

@@ -5,6 +5,7 @@
 //
 //	btcsim [-nodes 120] [-hours 4] [-churn 1.5] [-policy round-robin]
 //	       [-txs 100] [-compact] [-seed 1] [-runs 1] [-workers 0]
+//	       [-trace-out trace.ndjson]
 //	       [-pprof] [-pprof-addr 127.0.0.1:6060]
 //
 // The relay policy is one of round-robin (Bitcoin Core's behaviour),
@@ -12,6 +13,10 @@
 // refinement). With -runs N the simulation is replicated on paired
 // seeds across -workers goroutines; per-run summaries print in run
 // order regardless of completion order, and Ctrl-C cancels mid-run.
+// -trace-out streams every propagation-span trace event (deliveries
+// and relays, one JSON object per line) to a file as the simulation
+// runs; with -pprof the same server also exposes live metrics in
+// Prometheus text format at /metrics.
 package main
 
 import (
@@ -49,18 +54,27 @@ func run() error {
 		seed      = flag.Int64("seed", 1, "random seed")
 		runs      = flag.Int("runs", 1, "replications on paired seeds (seed + i*7919)")
 		workers   = flag.Int("workers", 0, "replication worker goroutines (0 = GOMAXPROCS)")
+		traceOut  = flag.String("trace-out", "", "stream trace events (NDJSON, one event per line) to this file")
 		pprof     = flag.Bool("pprof", false, "serve net/http/pprof profiles while the simulation runs")
 		pprofAddr = flag.String("pprof-addr", "127.0.0.1:6060", "pprof listen address (with -pprof; port 0 picks a free port)")
 	)
 	flag.Parse()
 
+	// A shared registry lets -pprof expose live /metrics across all
+	// replications. It only feeds the HTTP view: per-run results and
+	// stdout still come from each run's own accounting, so output stays
+	// deterministic even though concurrent runs merge their counters
+	// here.
+	var liveReg *obs.Registry
 	if *pprof {
 		srv, err := obs.StartPprof(*pprofAddr)
 		if err != nil {
 			return fmt.Errorf("pprof: %w", err)
 		}
 		defer srv.Close()
-		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", srv.Addr)
+		liveReg = obs.NewRegistry()
+		srv.Handle("/metrics", obs.PrometheusHandler(liveReg))
+		fmt.Printf("pprof listening on http://%s/debug/pprof/ (metrics at /metrics)\n", srv.Addr)
 	}
 
 	var relay node.RelayPolicy
@@ -83,6 +97,27 @@ func run() error {
 		RelayPolicy:             relay,
 		CompactBlocks:           *compact,
 		ChurnDeparturesPer10Min: *churn,
+		Metrics:                 liveReg,
+	}
+
+	var traceClose func() error
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		w := obs.NewNDJSONWriter(f)
+		// The sink is safe for concurrent runs; each line is one event,
+		// but with -runs > 1 lines from different runs interleave in
+		// completion order (split on the seed-dependent span IDs).
+		base.TraceSink = w.Sink()
+		traceClose = func() error {
+			// Close flushes and closes f; first sticky error wins.
+			if err := w.Close(); err != nil {
+				return fmt.Errorf("trace-out: %w", err)
+			}
+			return nil
+		}
 	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -106,6 +141,11 @@ func run() error {
 		summarize(&bufs[i], res)
 		return nil
 	})
+	if traceClose != nil {
+		if cerr := traceClose(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		return err
 	}

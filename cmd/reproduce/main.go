@@ -4,11 +4,14 @@
 //
 //	reproduce -list
 //	reproduce -id fig1 [-seed 1] [-scale 0.3] [-netsize 120] [-quick] [-csv out/]
-//	reproduce -all [-quick] [-csv out/] [-workers 4]
+//	reproduce -all [-quick] [-csv out/] [-report report.html] [-workers 4]
 //	reproduce -render fig12
 //
 // Each experiment prints its measured metrics next to the paper's
-// reported values; -csv additionally writes the underlying series.
+// reported values; -csv additionally writes the underlying series
+// (including <id>_timeseries.csv sim-time series sidecars), and
+// -report renders every finished report into one self-contained HTML
+// page with inline SVG sparklines of the key series.
 // Experiments run concurrently on -workers goroutines (default
 // GOMAXPROCS) with deterministic, worker-count-independent output;
 // Ctrl-C cancels mid-simulation.
@@ -46,6 +49,7 @@ func run() error {
 		quick   = flag.Bool("quick", false, "reduced sizes for a fast smoke run")
 		csvDir  = flag.String("csv", "", "also write series CSVs into this directory")
 		render  = flag.String("render", "", "render an ASCII artifact (currently: fig12)")
+		report  = flag.String("report", "", "write a self-contained HTML report (metrics + series sparklines) to this path")
 		workers = flag.Int("workers", 0, "experiment worker goroutines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
@@ -68,6 +72,22 @@ func run() error {
 		CSVDir:   *csvDir,
 		Profiles: os.Stderr,
 	}
+	// The HTML report collects finished reports from the Runner's
+	// ordered merge loop, so the page is deterministic at any -workers.
+	var collected []*core.Report
+	if *report != "" {
+		runner.Collect = func(r *core.Report) { collected = append(collected, r) }
+	}
+	writeReport := func() error {
+		if *report == "" {
+			return nil
+		}
+		if err := core.WriteHTMLReport(*report, collected); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote HTML report to %s\n", *report)
+		return nil
+	}
 
 	switch {
 	case *list:
@@ -88,7 +108,7 @@ func run() error {
 		// across worker counts.
 		fmt.Fprintf(os.Stderr, "all experiments done in %v\n",
 			time.Since(start).Round(time.Second))
-		return nil
+		return writeReport()
 
 	case *id != "":
 		var exps []core.Experiment
@@ -100,7 +120,10 @@ func run() error {
 			}
 			exps = append(exps, e)
 		}
-		return runner.Run(ctx, exps, os.Stdout)
+		if err := runner.Run(ctx, exps, os.Stdout); err != nil {
+			return err
+		}
+		return writeReport()
 
 	default:
 		flag.Usage()

@@ -126,9 +126,17 @@ type ChaosResult struct {
 	MetricsText string
 	// TraceDigest is the event tracer's running digest over every dial,
 	// handshake, relay, block-download, and fault event of the run;
-	// TraceTotal counts them. Same-seed runs produce equal digests.
-	TraceDigest string
-	TraceTotal  uint64
+	// TraceTotal counts them, TraceDropped counts ring evictions (the
+	// digest covers evicted events too). Same-seed runs produce equal
+	// digests.
+	TraceDigest  string
+	TraceTotal   uint64
+	TraceDropped uint64
+	// Series holds the sim-time metric series sampled every 30 s of
+	// virtual time: counter deltas, gauge values, and histogram
+	// quantiles for every registry metric. Same-seed runs render it to
+	// byte-identical CSV at any worker count.
+	Series *obs.SeriesSet
 	// Health aggregates every node's robustness counters.
 	Health node.HealthStats
 	// PersistentShare is the fraction of crash-tracked nodes present in
@@ -150,6 +158,10 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosResult, error) {
 	net := simnet.New(simnet.Config{Seed: cfg.Seed, Metrics: reg})
 	tracer := obs.NewTracer(0, net.Now)
 	sched := net.Scheduler()
+	sampler := obs.NewSampler(reg, obs.DefaultSeriesCapacity)
+	sampler.Tick(net.Now())
+	stopSampling := sched.Every(chaosSampleEvery, func() { sampler.Tick(net.Now()) })
+	defer stopSampling()
 	genesis := chainGenesis("chaos")
 	inj := faults.New(net, faults.Config{Seed: cfg.Seed, Default: faults.Profile{
 		Drop:      cfg.Drop,
@@ -291,9 +303,17 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosResult, error) {
 		res.PersistentShare = float64(m.PersistentCount()) / float64(m.Rows())
 		m.Publish(reg)
 	}
+	tracer.Publish(reg)
 	res.Metrics = reg.Snapshot()
 	res.MetricsText = res.Metrics.String()
 	res.TraceDigest = tracer.Digest()
 	res.TraceTotal = tracer.Total()
+	res.TraceDropped = tracer.Dropped()
+	res.Series = sampler.Set()
 	return res, nil
 }
+
+// chaosSampleEvery is the chaos scenario's sim-time sampling cadence:
+// dense enough to resolve the partition and crash windows on a 40 min
+// run, coarse enough that the series stay small.
+const chaosSampleEvery = 30 * time.Second

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/churn"
 	"repro/internal/netgen"
+	"repro/internal/obs"
 )
 
 // This file implements the §IV-D churn figures over the snapshot-level
@@ -43,6 +44,10 @@ type ChurnFigsResult struct {
 	DepartureSharePct float64
 	// UniqueAddresses is the matrix row count (paper: 28,781).
 	UniqueAddresses int
+	// Series renders the Figure 13 daily series in the common timeseries
+	// shape (churn.daily.departures / churn.daily.arrivals, one point per
+	// day from the universe epoch) for CSV sidecars and the HTML report.
+	Series *obs.SeriesSet
 }
 
 // RunChurnFigs builds the universe, the matrix, and the daily series.
@@ -80,7 +85,27 @@ func RunChurnFigs(ctx context.Context, cfg ChurnFigsConfig) (*ChurnFigsResult, e
 	if steady > 0 {
 		res.DepartureSharePct = 100 * res.MeanDailyDepartures / steady
 	}
+	res.Series = churnSeries(tr)
 	return res, nil
+}
+
+// churnSeries converts the daily transition counts into the shared
+// timeseries shape. Day k is stamped k days after the Unix epoch — the
+// universe is synthetic, so only the spacing carries meaning, and a
+// fixed origin keeps the CSV rendering deterministic.
+func churnSeries(tr *churn.Transitions) *obs.SeriesSet {
+	epoch := time.Unix(0, 0).UTC()
+	mk := func(name string, counts []int) obs.Series {
+		s := obs.Series{Name: name, Points: make([]obs.Point, len(counts))}
+		for i, v := range counts {
+			s.Points[i] = obs.Point{T: epoch.Add(time.Duration(i+1) * 24 * time.Hour), V: float64(v)}
+		}
+		return s
+	}
+	return &obs.SeriesSet{Series: []obs.Series{
+		mk("churn.daily.arrivals", tr.Arrivals),
+		mk("churn.daily.departures", tr.Departures),
+	}}
 }
 
 // SyncDepResult contrasts synchronized-node departures between the two

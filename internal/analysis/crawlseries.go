@@ -10,6 +10,7 @@ import (
 	"repro/internal/asmap"
 	"repro/internal/crawler"
 	"repro/internal/netgen"
+	"repro/internal/obs"
 )
 
 // CrawlSeriesConfig parameterizes the longitudinal crawl study (§III,
@@ -29,6 +30,10 @@ type CrawlSeriesConfig struct {
 	// lower values keep large runs fast with negligible estimator
 	// variance at these population sizes).
 	ScanSampleFraction float64
+	// Metrics, when set, receives the crawl.* counters cumulatively
+	// across all experiments — the live /metrics view for btccrawl
+	// -series. Nil keeps the study allocation-free of observability.
+	Metrics *obs.Registry
 }
 
 // ExperimentStats is one crawl experiment's outcome (one x-axis point of
@@ -156,7 +161,7 @@ func RunCrawlSeriesOn(ctx context.Context, u *netgen.Universe, cfg CrawlSeriesCo
 		targets := crawler.TargetsOf(seedView)
 		known := crawler.ReachableReference(seedView)
 
-		c := crawler.New(crawler.Config{}, view)
+		c := crawler.New(crawler.Config{Metrics: cfg.Metrics}, view)
 		snap, err := c.Crawl(at, targets, known)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: crawl %d: %w", i, err)

@@ -123,6 +123,25 @@ func TestChaosObservabilityGolden(t *testing.T) {
 		t.Errorf("same-seed trace totals differ: %d vs %d", a.TraceTotal, b.TraceTotal)
 	}
 
+	// The sim-time series must render byte-identically across same-seed
+	// runs — the *_timeseries.csv sidecars the runner writes are diffed
+	// verbatim by the CI determinism job at -workers 1 vs 4, so any
+	// wall-clock read or map-order leak in the sampler fails here first.
+	csvA, err := a.Series.EncodeCSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvB, err := b.Series.EncodeCSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csvA == "" || a.Series.Len() == 0 {
+		t.Fatal("chaos run produced no time series")
+	}
+	if csvA != csvB {
+		t.Errorf("same-seed series CSVs differ:\n--- run A ---\n%s\n--- run B ---\n%s", csvA, csvB)
+	}
+
 	cfg.Seed = 42
 	c, err := RunChaos(context.Background(), cfg)
 	if err != nil {
@@ -133,5 +152,8 @@ func TestChaosObservabilityGolden(t *testing.T) {
 	}
 	if c.MetricsText == a.MetricsText {
 		t.Error("different seeds produced identical metrics snapshots")
+	}
+	if csvC, _ := c.Series.EncodeCSV(); csvC == csvA {
+		t.Error("different seeds produced identical series CSVs")
 	}
 }

@@ -10,10 +10,10 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
-	"sort"
 	"time"
 
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/wire"
 )
@@ -85,6 +85,20 @@ type PropagationConfig struct {
 	// (they count as unsynchronized until they expire), matching how a
 	// crawler's view lags churn.
 	ListingTTL time.Duration
+	// SampleEvery is the sim-time series sampling cadence (default:
+	// SyncSampleEvery). Each tick snapshots every registry metric into
+	// the result's Series set.
+	SampleEvery time.Duration
+	// Metrics optionally supplies the registry the run writes to. Leave
+	// nil for a private registry (the default, and required when several
+	// runs execute concurrently — the snapshot must be a pure function of
+	// this run).
+	Metrics *obs.Registry
+	// TraceSink optionally receives every trace event at emission time
+	// (the -trace-out NDJSON stream). It runs under the tracer lock and
+	// must not call back into the tracer. Run it per-experiment: the
+	// sink sees only this run's events.
+	TraceSink func(obs.Event)
 }
 
 func (c PropagationConfig) withDefaults() PropagationConfig {
@@ -126,6 +140,9 @@ func (c PropagationConfig) withDefaults() PropagationConfig {
 	}
 	if c.ListingTTL == 0 {
 		c.ListingTTL = time.Hour
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = c.SyncSampleEvery
 	}
 	return c
 }
@@ -174,12 +191,19 @@ type PropagationResult struct {
 	// MeanOutdegree is the average outbound connection count across
 	// online nodes, sampled per block.
 	MeanOutdegree float64
-}
-
-// relayKey identifies a (node, object) pair for last-delay tracking.
-type relayKey struct {
-	node netip.AddrPort
-	hash [32]byte
+	// Series holds the sim-time metric series sampled every SampleEvery
+	// during the measured phase (counter deltas, gauge values, histogram
+	// quantiles, and the prop.* experiment observables). Same-seed runs
+	// produce byte-identical CSV renderings of this set.
+	Series *obs.SeriesSet
+	// Metrics is the end-of-run registry snapshot (scheduler, network,
+	// and node metrics).
+	Metrics *obs.Snapshot
+	// TraceDigest is the tracer's order-sensitive running digest;
+	// TraceTotal and TraceDropped count emitted and ring-evicted events.
+	TraceDigest  string
+	TraceTotal   uint64
+	TraceDropped uint64
 }
 
 // RunPropagation executes the experiment and aggregates its events. The
@@ -191,12 +215,38 @@ func RunPropagation(ctx context.Context, cfg PropagationConfig) (*PropagationRes
 		return nil, fmt.Errorf("analysis: need at least 3 reachable nodes, got %d", cfg.NumReachable)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Observability: a registry for metrics (private unless the caller
+	// supplies one), a tracer for propagation spans, and a sim-time
+	// sampler ticking on the scheduler. The relay observations are
+	// reconstructed from deliver.*/relay.* span events by a
+	// PropagationTree attached as a synchronous tracer stream — ring
+	// eviction cannot lose hops, and no per-experiment relay bookkeeping
+	// is needed.
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	net := simnet.New(simnet.Config{
 		Seed:    cfg.Seed,
 		Latency: simnet.HashLatency(20*time.Millisecond, 120*time.Millisecond),
+		Metrics: reg,
 	})
 	sched := net.Scheduler()
 	genesis := propagationGenesis
+	tracer := obs.NewTracer(0, net.Now)
+	sampler := obs.NewSampler(reg, obs.DefaultSeriesCapacity)
+	tree := obs.NewPropagationTree()
+	var measuring bool
+	tracer.AddStream(func(ev obs.Event) {
+		if measuring {
+			tree.Feed(ev)
+		}
+	})
+	if cfg.TraceSink != nil {
+		tracer.AddStream(cfg.TraceSink)
+	}
+	mDepartures := reg.Counter("prop.churn.departures")
+	mBlocksMined := reg.Counter("prop.blocks.mined")
 
 	// Address plan: live reachable nodes plus a pool of dead addresses.
 	addrs := make([]netip.AddrPort, cfg.NumReachable)
@@ -211,19 +261,14 @@ func RunPropagation(ctx context.Context, cfg PropagationConfig) (*PropagationRes
 	}
 
 	res := &PropagationResult{}
-	blockLast := make(map[relayKey]time.Duration)
-	blockFan := make(map[relayKey]int)
-	txLast := make(map[relayKey]time.Duration)
-	txFan := make(map[relayKey]int)
-	var measuring bool
 	observer := addrs[0]
 
 	sink := node.SinkFunc(func(ev node.Event) {
+		if !measuring {
+			return
+		}
 		switch ev.Type {
 		case node.EvDialAttempt:
-			if !measuring {
-				return
-			}
 			if ev.Dir == node.Feeler {
 				res.FeelerAttempts++
 			} else {
@@ -233,9 +278,6 @@ func RunPropagation(ctx context.Context, cfg PropagationConfig) (*PropagationRes
 				res.ObserverAttempts++
 			}
 		case node.EvDialSuccess:
-			if !measuring {
-				return
-			}
 			if ev.Dir == node.Feeler {
 				res.FeelerSuccesses++
 			} else {
@@ -244,24 +286,6 @@ func RunPropagation(ctx context.Context, cfg PropagationConfig) (*PropagationRes
 			if ev.Node == observer {
 				res.ObserverSuccesses++
 			}
-		case node.EvBlockRelayed:
-			if !measuring {
-				return
-			}
-			k := relayKey{node: ev.Node, hash: ev.Hash}
-			if ev.Delay > blockLast[k] {
-				blockLast[k] = ev.Delay
-			}
-			blockFan[k]++
-		case node.EvTxRelayed:
-			if !measuring {
-				return
-			}
-			k := relayKey{node: ev.Node, hash: ev.Hash}
-			if ev.Delay > txLast[k] {
-				txLast[k] = ev.Delay
-			}
-			txFan[k]++
 		}
 	})
 
@@ -302,6 +326,8 @@ func RunPropagation(ctx context.Context, cfg PropagationConfig) (*PropagationRes
 			BytesPerSec:      cfg.BytesPerSec,
 			AddrManKey:       uint64(cfg.Seed) + uint64(i),
 			Sink:             sink,
+			Metrics:          reg,
+			Tracer:           tracer,
 		}
 		hosts[i] = net.AddFullNode(cfgNode)
 	}
@@ -338,6 +364,15 @@ func RunPropagation(ctx context.Context, cfg PropagationConfig) (*PropagationRes
 
 	end := net.Now().Add(cfg.Duration)
 
+	// Sim-time series sampling over the measured phase: the first tick
+	// baselines counters at measurement start (its deltas absorb the
+	// warmup), subsequent ticks ride the scheduler at SampleEvery.
+	sampler.Tick(net.Now())
+	stopSampling := sched.Every(cfg.SampleEvery, func() {
+		sampler.Tick(net.Now())
+	})
+	defer stopSampling()
+
 	// Churn driver: departures at the configured rate; departed hosts
 	// rejoin after an exponential offline period with fresh node state.
 	if cfg.ChurnDeparturesPer10Min > 0 {
@@ -354,6 +389,7 @@ func RunPropagation(ctx context.Context, cfg PropagationConfig) (*PropagationRes
 					continue
 				}
 				h.Stop()
+				mDepartures.Inc()
 				cfgNode := h.Config()
 				cfgNode.SeedAddrs = seedFor(cfgNode.Self.Addr)
 				h.SetConfig(cfgNode)
@@ -441,8 +477,12 @@ func RunPropagation(ctx context.Context, cfg PropagationConfig) (*PropagationRes
 			}
 		}
 		if online > 0 {
-			res.SyncSamples = append(res.SyncSamples, float64(atTip)/float64(online))
-			res.MeanOutdegree += float64(outSum) / float64(online)
+			ratio := float64(atTip) / float64(online)
+			outdeg := float64(outSum) / float64(online)
+			res.SyncSamples = append(res.SyncSamples, ratio)
+			res.MeanOutdegree += outdeg
+			sampler.Observe(net.Now(), "prop.sync.ratio", ratio)
+			sampler.Observe(net.Now(), "prop.outdegree.mean", outdeg)
 		}
 		// Observed synchronization: listed nodes whose last-polled
 		// height matches the tip.
@@ -462,8 +502,9 @@ func RunPropagation(ctx context.Context, cfg PropagationConfig) (*PropagationRes
 			}
 		}
 		if listed > 0 {
-			res.ObservedSyncSamples = append(res.ObservedSyncSamples,
-				float64(observedSynced)/float64(listed))
+			observed := float64(observedSynced) / float64(listed)
+			res.ObservedSyncSamples = append(res.ObservedSyncSamples, observed)
+			sampler.Observe(now, "prop.sync.observed.ratio", observed)
 		}
 		sched.After(cfg.SyncSampleEvery, syncSample)
 	}
@@ -496,6 +537,7 @@ func RunPropagation(ctx context.Context, cfg PropagationConfig) (*PropagationRes
 				}
 				if _, err := n.MineBlock(2000); err == nil {
 					res.BlocksMined++
+					mBlocksMined.Inc()
 				}
 				break
 			}
@@ -507,42 +549,38 @@ func RunPropagation(ctx context.Context, cfg PropagationConfig) (*PropagationRes
 	}
 	measuring = false
 
-	// Fold per-(node, object) relay maps into observation lists, sorted
-	// deterministically so identical runs produce identical output (map
-	// iteration order would otherwise leak into downstream float sums).
-	for k, d := range blockLast {
-		res.BlockRelays = append(res.BlockRelays, RelayObservation{
-			Node: k.node, LastDelay: d, Fanout: blockFan[k],
-		})
-	}
-	for k, d := range txLast {
-		res.TxRelays = append(res.TxRelays, RelayObservation{
-			Node: k.node, LastDelay: d, Fanout: txFan[k],
-		})
-	}
-	sortRelays(res.BlockRelays)
-	sortRelays(res.TxRelays)
+	// Derive the relay observations from the propagation tree: the
+	// per-(node, object) last-delay/fanout aggregates are keyed by the
+	// node's delivery span, and RelayStats already returns them in the
+	// deterministic (delay, node, fanout) order the figure pipelines
+	// consume.
+	res.BlockRelays = relayObservations(tree.RelayStats(obs.KindRelayBlock))
+	res.TxRelays = relayObservations(tree.RelayStats(obs.KindRelayTx))
 	if len(res.SyncSamples) > 0 {
 		res.MeanOutdegree /= float64(len(res.SyncSamples))
 	}
+	tracer.Publish(reg)
+	res.Series = sampler.Set()
+	res.Metrics = reg.Snapshot()
+	res.TraceDigest = tracer.Digest()
+	res.TraceTotal = tracer.Total()
+	res.TraceDropped = tracer.Dropped()
 	return res, nil
 }
 
-// sortRelays orders observations by delay, then node, then fanout.
-func sortRelays(obs []RelayObservation) {
-	sort.Slice(obs, func(i, j int) bool {
-		if obs[i].LastDelay != obs[j].LastDelay {
-			return obs[i].LastDelay < obs[j].LastDelay
+// relayObservations converts span-derived relay aggregates into the
+// result's observation records.
+func relayObservations(stats []obs.RelayStat) []RelayObservation {
+	if len(stats) == 0 {
+		return nil
+	}
+	out := make([]RelayObservation, len(stats))
+	for i, st := range stats {
+		out[i] = RelayObservation{
+			Node: st.Node, LastDelay: st.LastDelay, Fanout: st.Fanout,
 		}
-		ai, aj := obs[i].Node, obs[j].Node
-		if c := ai.Addr().Compare(aj.Addr()); c != 0 {
-			return c < 0
-		}
-		if ai.Port() != aj.Port() {
-			return ai.Port() < aj.Port()
-		}
-		return obs[i].Fanout < obs[j].Fanout
-	})
+	}
+	return out
 }
 
 // propagationGenesis is shared by all propagation experiments.

@@ -88,6 +88,11 @@ type Report struct {
 	// surfaces promise byte-identical output for identical seeds. CLI
 	// front-ends print it to stderr instead.
 	Profile obs.Profile
+	// Series holds the experiment's sim-time metric series, written by
+	// WriteCSV as the <id>_timeseries.csv sidecar and rendered as
+	// sparklines by WriteHTMLReport. Like Tables, it is deterministic:
+	// same-seed runs produce byte-identical CSV at any worker count.
+	Series *obs.SeriesSet
 }
 
 // AddMetric appends a metric.

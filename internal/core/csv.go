@@ -20,6 +20,21 @@ func (r *Report) WriteCSV(dir string) error {
 			return err
 		}
 	}
+	// Sim-time series land in a timeseries sidecar next to the tables.
+	if r.Series != nil && r.Series.Len() > 0 {
+		path := filepath.Join(dir, fmt.Sprintf("%s_timeseries.csv", r.ID))
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("core: create %s: %w", path, err)
+		}
+		if err := r.Series.WriteCSV(f); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("core: write %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("core: close %s: %w", path, err)
+		}
+	}
 	// The metrics themselves also land in a summary CSV.
 	if len(r.Metrics) > 0 {
 		path := filepath.Join(dir, fmt.Sprintf("%s_metrics.csv", r.ID))

@@ -58,6 +58,9 @@ func chaosExperiment() Experiment {
 
 			rep.AddMetric("trace digest", res.TraceDigest, "")
 			rep.AddMetricf("trace events", float64(res.TraceTotal), "%.0f", "")
+			rep.AddMetricf("trace events dropped (ring)",
+				float64(res.TraceDropped), "%.0f", "")
+			rep.Series = res.Series
 
 			t := Table{Name: "fault-counters", Header: []string{"counter", "count"}}
 			for _, c := range res.FaultCounters {

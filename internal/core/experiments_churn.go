@@ -71,6 +71,7 @@ func fig13Experiment() Experiment {
 				})
 			}
 			rep.Tables = append(rep.Tables, t)
+			rep.Series = res.Series
 			return rep, nil
 		},
 	}

@@ -201,6 +201,7 @@ func fig10Experiment() Experiment {
 			rep.AddMetricf("p99 delay", s.P99, "%.2f s", "")
 			rep.AddMetricf("observations", float64(s.Count), "%.0f", "")
 			rep.Tables = append(rep.Tables, delayTable("delays", s.Series))
+			rep.Series = res.Series
 			return rep, nil
 		},
 	}
@@ -225,6 +226,7 @@ func fig11Experiment() Experiment {
 			rep.AddMetricf("p90 delay", s.P90, "%.2f s", "")
 			rep.AddMetricf("observations", float64(s.Count), "%.0f", "")
 			rep.Tables = append(rep.Tables, delayTable("delays", s.Series))
+			rep.Series = res.Series
 			return rep, nil
 		},
 	}

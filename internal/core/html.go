@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// This file renders a batch of reports as one self-contained HTML page:
+// headline metrics per experiment plus inline SVG sparklines of the
+// sim-time series (no external assets, so the file works as a CI
+// artifact or an email attachment). The rendering is deterministic —
+// reports arrive in slice order from the Runner's merge loop and series
+// are name-sorted — so same-seed pages are byte-identical.
+
+// keySeries are rendered first in each experiment's sparkline grid:
+// the four panels the reproduction is judged by (synchronization,
+// churn pressure, relay tail latency, scheduler load).
+var keySeries = []string{
+	"prop.sync.ratio",
+	"prop.sync.observed.ratio",
+	"prop.churn.departures.delta",
+	"churn.daily.departures",
+	"node.relay.block.delay.p99",
+	"node.relay.tx.delay.p99",
+	"simnet.sched.depth",
+}
+
+// maxSparklines bounds the per-experiment sparkline grid; remaining
+// series are listed by name so nothing is silently hidden.
+const maxSparklines = 24
+
+// WriteHTMLReport writes reports as a single HTML page at path.
+func WriteHTMLReport(path string, reports []*Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: create %s: %w", path, err)
+	}
+	if err := renderHTML(f, reports); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("core: write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("core: close %s: %w", path, err)
+	}
+	return nil
+}
+
+// renderHTML writes the full page.
+func renderHTML(w io.Writer, reports []*Report) error {
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>Reproduction report</title>
+<style>
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2em auto; max-width: 72em; color: #1a1a1a; }
+h1 { font-size: 1.5em; } h2 { font-size: 1.15em; margin-top: 2em; border-bottom: 1px solid #ddd; }
+table.metrics { border-collapse: collapse; margin: 0.5em 0; }
+table.metrics td, table.metrics th { border: 1px solid #ddd; padding: 0.2em 0.6em; text-align: left; }
+table.metrics th { background: #f4f4f4; }
+.spark { display: inline-block; margin: 0.4em 1em 0.4em 0; vertical-align: top; }
+.spark figcaption { font-size: 0.8em; color: #555; max-width: 240px; overflow-wrap: anywhere; }
+.note { color: #666; font-size: 0.9em; }
+svg { background: #fafafa; border: 1px solid #e5e5e5; }
+</style></head><body>
+<h1>Reproduction report</h1>
+`)
+	for _, r := range reports {
+		if r == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "<h2>%s — %s</h2>\n", html.EscapeString(r.ID), html.EscapeString(r.Title))
+		if len(r.Metrics) > 0 {
+			b.WriteString("<table class=\"metrics\"><tr><th>metric</th><th>measured</th><th>paper</th></tr>\n")
+			for _, m := range r.Metrics {
+				fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+					html.EscapeString(m.Name), html.EscapeString(m.Value), html.EscapeString(m.Paper))
+			}
+			b.WriteString("</table>\n")
+		}
+		for _, n := range r.Notes {
+			fmt.Fprintf(&b, "<p class=\"note\">%s</p>\n", html.EscapeString(n))
+		}
+		renderSparklines(&b, r.Series)
+	}
+	b.WriteString("</body></html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// renderSparklines writes the sparkline grid for one series set: key
+// series first, then the rest in name order up to maxSparklines, then a
+// name list of anything omitted.
+func renderSparklines(b *strings.Builder, set *obs.SeriesSet) {
+	if set == nil || set.Len() == 0 {
+		return
+	}
+	ordered := make([]obs.Series, 0, set.Len())
+	taken := make(map[string]bool, set.Len())
+	for _, name := range keySeries {
+		if s, ok := set.Get(name); ok && len(s.Points) > 0 {
+			ordered = append(ordered, *s)
+			taken[name] = true
+		}
+	}
+	for _, s := range set.Series {
+		if !taken[s.Name] && len(s.Points) > 0 {
+			ordered = append(ordered, s)
+		}
+	}
+	shown := ordered
+	if len(shown) > maxSparklines {
+		shown = shown[:maxSparklines]
+	}
+	for i := range shown {
+		sparkline(b, &shown[i])
+	}
+	if omitted := len(ordered) - len(shown); omitted > 0 {
+		b.WriteString("<p class=\"note\">omitted series: ")
+		for i, s := range ordered[len(shown):] {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(html.EscapeString(s.Name))
+		}
+		b.WriteString("</p>\n")
+	}
+}
+
+// sparkline renders one series as an inline SVG polyline with its range
+// in the caption.
+func sparkline(b *strings.Builder, s *obs.Series) {
+	const width, height, pad = 240, 56, 3.0
+	minV, maxV := s.Points[0].V, s.Points[0].V
+	for _, p := range s.Points[1:] {
+		if p.V < minV {
+			minV = p.V
+		}
+		if p.V > maxV {
+			maxV = p.V
+		}
+	}
+	t0 := s.Points[0].T
+	tSpan := s.Points[len(s.Points)-1].T.Sub(t0).Seconds()
+	vSpan := maxV - minV
+	var pts strings.Builder
+	for i, p := range s.Points {
+		x := pad + (width-2*pad)*0.5
+		if tSpan > 0 {
+			x = pad + (width-2*pad)*p.T.Sub(t0).Seconds()/tSpan
+		}
+		y := height / 2.0
+		if vSpan > 0 {
+			y = (height - pad) - (height-2*pad)*(p.V-minV)/vSpan
+		}
+		if i > 0 {
+			pts.WriteByte(' ')
+		}
+		fmt.Fprintf(&pts, "%.1f,%.1f", x, y)
+	}
+	fmt.Fprintf(b, `<figure class="spark"><svg width="%d" height="%d" viewBox="0 0 %d %d">`+
+		`<polyline fill="none" stroke="#2563eb" stroke-width="1.2" points="%s"/></svg>`,
+		width, height, width, height, pts.String())
+	fmt.Fprintf(b, "<figcaption>%s<br>min %s · max %s · n=%d</figcaption></figure>\n",
+		html.EscapeString(s.Name), trimFloat(minV), trimFloat(maxV), len(s.Points))
+}
+
+// trimFloat renders a value compactly for captions.
+func trimFloat(v float64) string {
+	out := fmt.Sprintf("%.4g", v)
+	return out
+}

@@ -33,15 +33,22 @@ type Runner struct {
 	// experiment as its report is emitted. Wall times are real time, so
 	// this stream is nondeterministic and must stay separate from w.
 	Profiles io.Writer
+	// Collect, when non-nil, receives every finished report in slice
+	// order from the merge loop (never concurrently) — the hook the HTML
+	// report writer hangs off.
+	Collect func(*Report)
 }
 
 // runnerJob is one experiment's private result, handed from its worker
-// to the in-order merge loop.
+// to the in-order merge loop. Both the rendered report and the profile
+// line are buffered worker-side: the merge loop only copies bytes, so
+// neither stream can interleave across workers whatever the pool size.
 type runnerJob struct {
-	buf  bytes.Buffer
-	prof obs.Profile
-	ok   bool
-	done chan struct{}
+	buf     bytes.Buffer
+	profBuf bytes.Buffer
+	rep     *Report
+	ok      bool
+	done    chan struct{}
 }
 
 // Run executes exps on the pool and renders each report to w in slice
@@ -66,7 +73,7 @@ func (r *Runner) Run(ctx context.Context, exps []Experiment, w io.Writer) error 
 				return fmt.Errorf("core: %s: %w", e.ID, err)
 			}
 			rep.Profile = stop()
-			jobs[i].prof = rep.Profile
+			fmt.Fprintf(&jobs[i].profBuf, "  profile: %s\n", rep.Profile)
 			if err := rep.Render(&jobs[i].buf); err != nil {
 				return fmt.Errorf("core: %s: %w", e.ID, err)
 			}
@@ -76,6 +83,7 @@ func (r *Runner) Run(ctx context.Context, exps []Experiment, w io.Writer) error 
 					return fmt.Errorf("core: %s: %w", e.ID, err)
 				}
 			}
+			jobs[i].rep = rep
 			jobs[i].ok = true
 			return nil
 		})
@@ -101,7 +109,12 @@ func (r *Runner) Run(ctx context.Context, exps []Experiment, w io.Writer) error 
 				return err
 			}
 			if r.Profiles != nil {
-				fmt.Fprintf(r.Profiles, "  profile: %s\n", jobs[i].prof)
+				if _, err := r.Profiles.Write(jobs[i].profBuf.Bytes()); err != nil {
+					return err
+				}
+			}
+			if r.Collect != nil {
+				r.Collect(jobs[i].rep)
 			}
 		}
 		return nil

@@ -270,6 +270,7 @@ func (n *Node) handleTx(p *Peer, m *wire.MsgTx) {
 	}
 	now := n.env.Now()
 	n.noteSeen(h, now)
+	n.traceDeliver(obs.KindDeliverTx, h, p.addr, now)
 	n.emit(Event{
 		Type: EvTxReceived, Time: now, Node: n.cfg.Self.Addr,
 		Peer: p.addr, Hash: h,
@@ -286,6 +287,7 @@ func (n *Node) SubmitTx(tx *wire.MsgTx) chainhash.Hash {
 	}
 	now := n.env.Now()
 	n.noteSeen(h, now)
+	n.traceDeliver(obs.KindDeliverTx, h, netip.AddrPort{}, now)
 	n.emit(Event{
 		Type: EvTxReceived, Time: now, Node: n.cfg.Self.Addr, Hash: h,
 	})
@@ -349,6 +351,7 @@ func (n *Node) acceptAndRelayBlock(p *Peer, m *wire.MsgBlock) bool {
 	if p != nil {
 		peerAddr = p.addr
 	}
+	n.traceDeliver(obs.KindDeliverBlock, h, peerAddr, now)
 	n.emit(Event{
 		Type: EvBlockReceived, Time: now, Node: n.cfg.Self.Addr,
 		Peer: peerAddr, Hash: h,
@@ -555,6 +558,7 @@ func (n *Node) MineBlock(maxTxs int) (*wire.MsgBlock, error) {
 	n.mempool.RemoveBlockTxs(blk)
 	now := n.env.Now()
 	n.noteSeen(blk.BlockHash(), now)
+	n.traceDeliver(obs.KindDeliverBlock, blk.BlockHash(), netip.AddrPort{}, now)
 	n.emit(Event{
 		Type: EvBlockMined, Time: now, Node: n.cfg.Self.Addr,
 		Hash: blk.BlockHash(),

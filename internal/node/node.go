@@ -556,6 +556,30 @@ func (n *Node) noteSeen(h chainhash.Hash, t time.Time) {
 	}
 }
 
+// traceDeliver emits the delivery-span trace event for an accepted
+// object. Span identity is SpanKey-derived, so the receiving node's
+// Parent matches the sender's own delivery Span without any shared
+// state — PropagationTree stitches the hops back together from the
+// flat stream. from is the zero AddrPort at the origin (local mine or
+// submit), which yields Parent 0 (tree root).
+func (n *Node) traceDeliver(kind string, h chainhash.Hash, from netip.AddrPort, at time.Time) {
+	if n.tracer == nil {
+		return
+	}
+	self := n.cfg.Self.Addr
+	ev := obs.Event{
+		Time: at, Kind: kind, From: from, To: self,
+		Detail: h.String()[:16],
+		Span:   obs.SpanKey(self, h[:]),
+	}
+	if from.IsValid() {
+		ev.Parent = obs.SpanKey(from, h[:])
+	} else {
+		ev.From = self
+	}
+	n.tracer.Emit(ev)
+}
+
 // emit delivers an instrumentation event to the configured sink.
 func (n *Node) emit(ev Event) {
 	if n.cfg.Sink != nil {

@@ -66,18 +66,22 @@ func (n *Node) transmitNow(p *Peer, out outMsg, delay time.Duration) {
 	at := n.env.Now().Add(delay)
 	relayDelay := at.Sub(out.recvAt)
 	evType := EvTxRelayed
-	detail := "tx"
+	kind := obs.KindRelayTx
 	if out.class == classBlock {
 		evType = EvBlockRelayed
-		detail = "block"
+		kind = obs.KindRelayBlock
 		n.met.relayBlock.ObserveDuration(relayDelay)
 	} else {
 		n.met.relayTx.ObserveDuration(relayDelay)
 	}
 	if n.tracer != nil {
+		// Per-hop relay span event: Parent is this node's delivery span
+		// for the object, so PropagationTree can aggregate the
+		// receive-to-last-connection delay without extra bookkeeping.
 		n.tracer.Emit(obs.Event{
-			Time: at, Kind: "relay", From: n.cfg.Self.Addr, To: p.addr,
-			Detail: detail, Dur: relayDelay,
+			Time: at, Kind: kind, From: n.cfg.Self.Addr, To: p.addr,
+			Detail: out.relayMark.String()[:16], Dur: relayDelay,
+			Parent: obs.SpanKey(n.cfg.Self.Addr, out.relayMark[:]),
 		})
 	}
 	n.emit(Event{

@@ -51,3 +51,47 @@ func BenchmarkTracerEmit(b *testing.B) {
 		tr.Emit(ev)
 	}
 }
+
+// BenchmarkSamplerTick is the per-sample cost the scheduler pays on
+// every sampling interval: one snapshot plus ring pushes over a
+// registry sized like a mid-size simulation.
+func BenchmarkSamplerTick(b *testing.B) {
+	reg := NewRegistry()
+	for i := 0; i < 48; i++ {
+		reg.Counter(counterName(i)).Add(int64(i))
+	}
+	reg.Gauge("sched.depth").Set(17)
+	h := reg.Histogram("relay.delay")
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i * int64(time.Millisecond))
+	}
+	s := NewSampler(reg, DefaultSeriesCapacity)
+	now := time.Unix(1585958400, 0).UTC()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(2 * time.Minute)
+		s.Tick(now)
+	}
+}
+
+// BenchmarkSpanEmit is the per-hop cost of the propagation span
+// instrumentation: one SpanKey derivation plus a traced emit, as the
+// deliver/relay paths pay it.
+func BenchmarkSpanEmit(b *testing.B) {
+	tr := NewTracer(DefaultTraceCapacity, virtualClock())
+	self, peer := addrPort(1), addrPort(2)
+	hash := []byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03, 0x04,
+		0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c,
+		0x0d, 0x0e, 0x0f, 0x10, 0x11, 0x12, 0x13, 0x14,
+		0x15, 0x16, 0x17, 0x18, 0x19, 0x1a, 0x1b, 0x1c}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Event{
+			Kind: KindDeliverBlock, From: peer, To: self, Detail: "deadbeef01020304",
+			Span:   SpanKey(self, hash),
+			Parent: SpanKey(peer, hash),
+		})
+	}
+}

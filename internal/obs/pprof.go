@@ -9,10 +9,13 @@ import (
 )
 
 // PprofServer is a live profiling endpoint started by StartPprof.
+// Additional handlers (the Prometheus /metrics surface) mount onto the
+// same mux with Handle.
 type PprofServer struct {
 	// Addr is the actual listen address (useful with port 0).
 	Addr string
 
+	mux *http.ServeMux
 	srv *http.Server
 	ln  net.Listener
 }
@@ -35,7 +38,17 @@ func StartPprof(addr string) (*PprofServer, error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
-	return &PprofServer{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+	return &PprofServer{Addr: ln.Addr().String(), mux: mux, srv: srv, ln: ln}, nil
+}
+
+// Handle mounts an additional handler on the server's mux — typically
+// Handle("/metrics", PrometheusHandler(reg)). Safe before any request
+// arrives at the pattern; a nil server is a no-op.
+func (p *PprofServer) Handle(pattern string, h http.Handler) {
+	if p == nil || p.mux == nil {
+		return
+	}
+	p.mux.Handle(pattern, h)
 }
 
 // Close shuts the endpoint down.

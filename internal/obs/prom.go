@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// This file renders registry snapshots in the Prometheus text exposition
+// format, giving live runs (btcsim, btccrawl) a real scrape surface on
+// the same server that already serves pprof. Deterministic experiments
+// keep using Snapshot/SeriesSet sidecars; the /metrics endpoint is the
+// live view of the same registry.
+
+// PrometheusName maps a registry metric name onto the Prometheus
+// identifier charset: dots and any other illegal runes become
+// underscores (node.dial.attempt → node_dial_attempt).
+func PrometheusName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			r = '_'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in the text exposition format:
+// counters and gauges as single samples, histograms as summaries with
+// deterministic quantile estimates plus _sum, _count, _min, and _max.
+func WritePrometheus(w io.Writer, s *Snapshot) error {
+	if s == nil {
+		return nil
+	}
+	for _, c := range s.Counters {
+		name := PrometheusName(c.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		name := PrometheusName(g.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		name := PrometheusName(h.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", name); err != nil {
+			return err
+		}
+		for _, q := range []struct {
+			label string
+			value int64
+		}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.99", h.P99}} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %d\n", name, q.label, q.value); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n%s_min %d\n%s_max %d\n",
+			name, h.Sum, name, h.Count, name, h.Min, name, h.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PrometheusHandler serves live snapshots of reg in the text exposition
+// format — mount it at /metrics (see PprofServer.Handle). A nil registry
+// serves empty (but valid) responses.
+func PrometheusHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, reg.Snapshot())
+	})
+}

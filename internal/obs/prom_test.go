@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPrometheusName(t *testing.T) {
+	cases := map[string]string{
+		"node.dial.attempt": "node_dial_attempt",
+		"already_legal":     "already_legal",
+		"with:colon":        "with:colon",
+		"9starts.digit":     "_starts_digit",
+		"dash-π":            "dash__", // the dash and the rune each become one '_'
+	}
+	for in, want := range cases {
+		if got := PrometheusName(in); got != want {
+			t.Errorf("PrometheusName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("crawl.dials").Add(42)
+	reg.Gauge("sched.depth").Set(-3)
+	h := reg.Histogram("relay.delay")
+	for i := int64(1); i <= 10; i++ {
+		h.Observe(i * int64(time.Millisecond))
+	}
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE crawl_dials counter\ncrawl_dials 42\n",
+		"# TYPE sched_depth gauge\nsched_depth -3\n",
+		"# TYPE relay_delay summary\n",
+		`relay_delay{quantile="0.5"} `,
+		`relay_delay{quantile="0.99"} `,
+		"relay_delay_count 10\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := WritePrometheus(&b, nil); err != nil {
+		t.Errorf("nil snapshot: %v", err)
+	}
+}
+
+func TestPrometheusHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits").Inc()
+	rec := httptest.NewRecorder()
+	PrometheusHandler(reg).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "hits 1\n") {
+		t.Errorf("body = %q", rec.Body.String())
+	}
+	// A nil registry serves an empty, valid response.
+	rec = httptest.NewRecorder()
+	PrometheusHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || rec.Body.Len() != 0 {
+		t.Errorf("nil registry: code %d body %q", rec.Code, rec.Body.String())
+	}
+}

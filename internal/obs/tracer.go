@@ -2,7 +2,6 @@ package obs
 
 import (
 	"fmt"
-	"hash/fnv"
 	"net/netip"
 	"sync"
 	"time"
@@ -11,12 +10,17 @@ import (
 // Event is one structured trace record. The same type serves fault
 // injections, node protocol transitions, and span completions; Kind
 // discriminates, Detail carries free-form context, and Dur is non-zero
-// for span events.
+// for span events. Span and Parent carry hierarchical span identifiers:
+// Span is this event's own span when it opens or closes one, Parent is
+// the enclosing span (zero when the event is a root or a plain point
+// event). Propagation instrumentation derives both deterministically
+// with SpanKey, so same-seed runs produce identical identifier streams.
 type Event struct {
 	// Time is the (virtual) time of the event.
 	Time time.Time
 	// Kind labels the event: drop, dup, spike, dial-refuse, partition,
-	// heal, crash, restart, dial, handshake, relay, block-download, ….
+	// heal, crash, restart, dial, handshake, relay.block, relay.tx,
+	// deliver.block, deliver.tx, block-download, ….
 	Kind string
 	// From and To are the endpoints, when applicable.
 	From, To netip.AddrPort
@@ -25,6 +29,11 @@ type Event struct {
 	// Dur is the span duration for span-completion events (zero for
 	// point events).
 	Dur time.Duration
+	// Span identifies the span this event opens or completes (zero for
+	// plain point events).
+	Span uint64
+	// Parent identifies the enclosing span (zero at the root).
+	Parent uint64
 }
 
 // String renders the event compactly.
@@ -34,7 +43,64 @@ func (e Event) String() string {
 	if e.Dur != 0 {
 		s += fmt.Sprintf(" dur=%v", e.Dur)
 	}
+	if e.Span != 0 {
+		s += fmt.Sprintf(" span=%x", e.Span)
+	}
+	if e.Parent != 0 {
+		s += fmt.Sprintf(" parent=%x", e.Parent)
+	}
 	return s
+}
+
+// FNV-64a parameters, shared by the digest and SpanKey.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvUint64 folds an integer into an FNV-64a state byte by byte.
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// fnvString folds a string into an FNV-64a state.
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+// fnvAddr folds an address/port into an FNV-64a state.
+func fnvAddr(h uint64, a netip.AddrPort) uint64 {
+	b := a.Addr().As16()
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return fnvUint64(h, uint64(a.Port()))
+}
+
+// SpanKey derives a deterministic span identifier from an endpoint and an
+// object key (typically a block or transaction hash). Instrumented code
+// that cannot carry span identifiers across the wire uses SpanKey on both
+// sides of a hop: the receiver's delivery span for object k is
+// SpanKey(receiver, k), and its parent is SpanKey(sender, k) — the
+// sender's own delivery span of the same object. The identifier is a pure
+// function of its inputs, so same-seed runs agree without shared state.
+func SpanKey(a netip.AddrPort, key []byte) uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvAddr(h, a)
+	for _, c := range key {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	if h == 0 {
+		h = fnvPrime64 // zero is the "no span" sentinel
+	}
+	return h
 }
 
 // Tracer is a low-overhead structured event recorder: a fixed-capacity
@@ -45,17 +111,24 @@ func (e Event) String() string {
 // produces the identical event sequence and digest — the property the
 // determinism golden tests compare.
 //
+// Streaming consumers registered with AddStream see every event before it
+// can be evicted, which is how unbounded analyses (PropagationTree,
+// NDJSON trace files) coexist with the bounded ring.
+//
 // The nil tracer discards events, so hot paths emit unconditionally.
 // Methods are mutex-guarded for the tcpnet (real socket) backends;
 // under simnet the lock is uncontended.
 type Tracer struct {
-	mu    sync.Mutex
-	clock func() time.Time
-	ring  []Event
-	start int // index of the oldest retained event
-	n     int // retained events
-	total uint64
-	hash  uint64 // running FNV-64a
+	mu       sync.Mutex
+	clock    func() time.Time
+	ring     []Event
+	start    int // index of the oldest retained event
+	n        int // retained events
+	total    uint64
+	dropped  uint64 // events evicted from the ring
+	hash     uint64 // running FNV-64a
+	nextSpan uint64 // sequential span IDs for Span()
+	sinks    []func(Event)
 }
 
 // DefaultTraceCapacity bounds the retained trace when NewTracer is
@@ -73,12 +146,25 @@ func NewTracer(capacity int, clock func() time.Time) *Tracer {
 	if clock == nil {
 		clock = time.Now
 	}
-	const offset64 = 14695981039346656037
 	return &Tracer{
 		clock: clock,
 		ring:  make([]Event, 0, capacity),
-		hash:  offset64,
+		hash:  fnvOffset64,
 	}
+}
+
+// AddStream registers a synchronous consumer invoked for every event at
+// emission time, before ring eviction can lose it. The callback runs
+// under the tracer lock — it must be fast and must not call back into
+// the tracer. Streams cannot be removed; attach them for the tracer's
+// lifetime (one experiment run).
+func (t *Tracer) AddStream(fn func(Event)) {
+	if t == nil || fn == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sinks = append(t.sinks, fn)
 }
 
 // Emit records one event, stamping Time from the clock when zero.
@@ -93,6 +179,9 @@ func (t *Tracer) Emit(ev Event) {
 	}
 	t.total++
 	t.mixLocked(ev)
+	for _, fn := range t.sinks {
+		fn(ev)
+	}
 	if len(t.ring) < cap(t.ring) {
 		t.ring = append(t.ring, ev)
 		t.n++
@@ -101,15 +190,24 @@ func (t *Tracer) Emit(ev Event) {
 	// Ring full: overwrite the oldest.
 	t.ring[t.start] = ev
 	t.start = (t.start + 1) % len(t.ring)
+	t.dropped++
 }
 
-// mixLocked folds ev into the running digest.
+// mixLocked folds ev into the running digest. Hand-rolled FNV-64a over
+// the raw field bytes: the tracer is on the relay hot path of multi-hour
+// simulations, so this must not allocate or format.
 func (t *Tracer) mixLocked(ev Event) {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%s|%v|%v|%s|%d",
-		ev.Time.UnixNano(), ev.Kind, ev.From, ev.To, ev.Detail, ev.Dur)
+	h := uint64(fnvOffset64)
+	h = fnvUint64(h, uint64(ev.Time.UnixNano()))
+	h = fnvString(h, ev.Kind)
+	h = fnvAddr(h, ev.From)
+	h = fnvAddr(h, ev.To)
+	h = fnvString(h, ev.Detail)
+	h = fnvUint64(h, uint64(ev.Dur))
+	h = fnvUint64(h, ev.Span)
+	h = fnvUint64(h, ev.Parent)
 	// Chain the per-event hash into the running digest so order matters.
-	t.hash = (t.hash ^ h.Sum64()) * 1099511628211
+	t.hash = (t.hash ^ h) * fnvPrime64
 }
 
 // Events returns the retained events, oldest first.
@@ -137,14 +235,31 @@ func (t *Tracer) Total() uint64 {
 	return t.total
 }
 
-// Dropped returns how many events the ring has evicted.
+// Dropped returns how many events the ring has evicted. Two runs can
+// share a digest yet differ here only if their ring capacities differ,
+// so snapshots that publish it (see Publish) let trace comparisons
+// distinguish "identical" from "identically truncated".
 func (t *Tracer) Dropped() uint64 {
 	if t == nil {
 		return 0
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.total - uint64(t.n)
+	return t.dropped
+}
+
+// Publish surfaces the tracer's lifetime counters as registry gauges
+// (obs.trace.total, obs.trace.dropped), so metric snapshots record not
+// just what the ring retained but how much it evicted.
+func (t *Tracer) Publish(reg *Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	t.mu.Lock()
+	total, dropped := t.total, t.dropped
+	t.mu.Unlock()
+	reg.Gauge("obs.trace.total").Set(int64(total))
+	reg.Gauge("obs.trace.dropped").Set(int64(dropped))
 }
 
 // Digest returns a hex digest over every event ever emitted, in order.
@@ -163,21 +278,50 @@ func (t *Tracer) Digest() string {
 // whose Dur is the elapsed (possibly virtual) time since Span was
 // created. The nil span is a no-op.
 type Span struct {
-	tr    *Tracer
-	ev    Event
-	begin time.Time
+	tr     *Tracer
+	ev     Event
+	begin  time.Time
+	id     uint64
+	parent uint64
 }
 
-// Span starts a timed operation of the given kind between from and to.
+// Span starts a timed root operation of the given kind between from and
+// to, with a fresh sequential span identifier.
 func (t *Tracer) Span(kind string, from, to netip.AddrPort) *Span {
 	if t == nil {
 		return nil
 	}
+	t.mu.Lock()
+	t.nextSpan++
+	id := t.nextSpan
+	t.mu.Unlock()
 	return &Span{
 		tr:    t,
 		ev:    Event{Kind: kind, From: from, To: to},
 		begin: t.clock(),
+		id:    id,
 	}
+}
+
+// Child starts a sub-span nested under s. The child's completion event
+// carries s's identifier as Parent, so reconstruction (for example
+// PropagationTree) can rebuild the hierarchy from the flat event stream.
+// The nil span returns a nil (no-op) child.
+func (s *Span) Child(kind string, from, to netip.AddrPort) *Span {
+	if s == nil {
+		return nil
+	}
+	c := s.tr.Span(kind, from, to)
+	c.parent = s.id
+	return c
+}
+
+// ID returns the span's identifier (zero for nil).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
 }
 
 // End completes the span, recording detail and the elapsed duration.
@@ -189,5 +333,7 @@ func (s *Span) End(detail string) {
 	s.ev.Time = now
 	s.ev.Detail = detail
 	s.ev.Dur = now.Sub(s.begin)
+	s.ev.Span = s.id
+	s.ev.Parent = s.parent
 	s.tr.Emit(s.ev)
 }

@@ -139,6 +139,28 @@ func (s *Scheduler) After(d time.Duration, fn func()) {
 	s.At(s.now.Add(d), fn)
 }
 
+// Every schedules fn at a fixed period, first firing d from now, and
+// returns a cancel function. Cancellation is lazy: the pending event
+// stays queued but becomes a no-op and stops rechaining — the natural
+// pattern for a single-threaded scheduler, and how the sim-time metrics
+// sampler hooks its ticks in. d must be positive.
+func (s *Scheduler) Every(d time.Duration, fn func()) (cancel func()) {
+	if d <= 0 {
+		panic("simnet: Every requires a positive period")
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		s.After(d, tick)
+	}
+	s.After(d, tick)
+	return func() { stopped = true }
+}
+
 // ctxCheckInterval is how many executed events pass between cancellation
 // checks in RunUntilCtx. Long simulations execute millions of events, so
 // checking a channel on every pop would be measurable; every 4096 events
