@@ -114,7 +114,7 @@ func run() error {
 
 	if *update {
 		b := Baseline{
-			Note:    "regenerate: go test -run '^$' -bench . ./internal/obs/ | go run ./cmd/benchguard -baseline BENCH_baseline.json -update",
+			Note:    "regenerate: { go test -run '^$' -bench . ./internal/obs/; go test -run '^$' -bench SchedulerThroughput ./internal/simnet/; go test -run '^$' -bench RunnerFanOut ./internal/core/; go test -run '^$' -bench 'CrawlSnapshot|Scan$|UniverseView' ./internal/crawler/; } | go run ./cmd/benchguard -baseline BENCH_baseline.json -update",
 			NsPerOp: got,
 		}
 		data, err := json.MarshalIndent(b, "", "  ")

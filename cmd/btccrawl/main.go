@@ -5,18 +5,21 @@
 // Usage:
 //
 //	btccrawl [-scale 0.05] [-seed 1] [-day 10] [-scan] [-malicious]
-//	         [-series 0] [-pprof] [-pprof-addr 127.0.0.1:6060]
+//	         [-series 0] [-workers 0] [-pprof] [-pprof-addr 127.0.0.1:6060]
 //
 // With -series N the single-day snapshot is replaced by the full
 // longitudinal study over the first N crawl experiments (Figures 3-5);
 // Ctrl-C cancels between crawls.
+//
+// -workers sets the crawl/scan fan-out width (0 = GOMAXPROCS). Results
+// are byte-identical at any width; timing goes to stderr so stdout can
+// be diffed across worker counts.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"net/netip"
 	"os"
 	"os/signal"
 	"time"
@@ -42,6 +45,7 @@ func run() error {
 		scan      = flag.Bool("scan", false, "also run the responsive scan (Algorithm 2)")
 		malicious = flag.Bool("malicious", false, "report suspected ADDR flooders")
 		series    = flag.Int("series", 0, "run the longitudinal study over this many crawl experiments instead of one snapshot")
+		workers   = flag.Int("workers", 0, "crawl/scan fan-out width (0 = GOMAXPROCS; output is identical at any width)")
 		pprof     = flag.Bool("pprof", false, "serve net/http/pprof profiles while the crawl runs")
 		pprofAddr = flag.String("pprof-addr", "127.0.0.1:6060", "pprof listen address (with -pprof; port 0 picks a free port)")
 	)
@@ -70,13 +74,15 @@ func run() error {
 		res, err := analysis.RunCrawlSeries(ctx, analysis.CrawlSeriesConfig{
 			Params:      params,
 			Experiments: *series,
+			Workers:     *workers,
 			Metrics:     reg,
 		})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("series of %d crawl experiments done in %v\n",
+		fmt.Fprintf(os.Stderr, "series of %d crawl experiments done in %v\n",
 			len(res.Experiments), time.Since(start).Round(time.Millisecond))
+		fmt.Printf("series of %d crawl experiments\n", len(res.Experiments))
 		fmt.Printf("unique reachable %d, cumulative unreachable %d, mean connected %.0f\n",
 			res.UniqueConnected, res.TotalUniqueUnreachable, res.MeanConnected)
 		fmt.Printf("mean ADDR reachable share %.1f%%, flagged flooders %d\n",
@@ -84,7 +90,7 @@ func run() error {
 		return nil
 	}
 
-	fmt.Printf("generating universe (scale %.2f)...\n", *scale)
+	fmt.Fprintf(os.Stderr, "generating universe (scale %.2f)...\n", *scale)
 	u, err := netgen.Generate(params)
 	if err != nil {
 		return err
@@ -97,13 +103,13 @@ func run() error {
 		seedView.BitnodesExcluded, seedView.DNSExcluded)
 
 	start := time.Now()
-	c := crawler.New(crawler.Config{Metrics: reg}, view)
-	snap, err := c.Crawl(at, crawler.TargetsOf(seedView), crawler.ReachableReference(seedView))
+	c := crawler.New(crawler.Config{Metrics: reg, Workers: *workers, Index: u.Index}, view)
+	snap, err := c.Crawl(ctx, at, crawler.TargetsOf(seedView), crawler.ReachableReference(seedView))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("crawl done in %v: dialed %d, connected %d\n",
-		time.Since(start).Round(time.Millisecond), snap.Dialed, len(snap.Connected))
+	fmt.Fprintf(os.Stderr, "crawl done in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("crawl: dialed %d, connected %d\n", snap.Dialed, len(snap.Connected))
 	r, unr := snap.AddrComposition()
 	fmt.Printf("collected %d unreachable addresses; ADDR mix %.1f%% reachable / %.1f%% unreachable\n",
 		len(snap.Unreachable), 100*r, 100*unr)
@@ -123,17 +129,15 @@ func run() error {
 	}
 
 	if *scan {
-		targets := make([]netip.AddrPort, 0, len(snap.Unreachable))
-		for a := range snap.Unreachable {
-			targets = append(targets, a)
-		}
 		start = time.Now()
-		res, err := crawler.Scan(at, view, targets)
+		res, err := crawler.ScanWith(ctx, crawler.ScanConfig{Workers: *workers, Metrics: reg},
+			at, view, snap.Unreachable)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("scan done in %v: probed %d, responsive %d (%.1f%%), misclassified-reachable %d\n",
-			time.Since(start).Round(time.Millisecond), res.Probed, len(res.Responsive),
+		fmt.Fprintf(os.Stderr, "scan done in %v\n", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("scan: probed %d, responsive %d (%.1f%%), misclassified-reachable %d\n",
+			res.Probed, len(res.Responsive),
 			100*float64(len(res.Responsive))/float64(res.Probed),
 			len(res.ReachableSurprises))
 	}

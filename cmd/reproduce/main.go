@@ -59,6 +59,7 @@ func run() error {
 		Scale:   *scale,
 		NetSize: *netSize,
 		Quick:   *quick,
+		Workers: *workers,
 	}
 
 	// Ctrl-C cancels the context; the simulations poll it and stop

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"os"
@@ -82,7 +83,7 @@ func run() error {
 		known[t] = struct{}{}
 	}
 	c := crawler.New(crawler.Config{}, &tcpnet.Dialer{})
-	snap, err := c.Crawl(time.Now(), targets, known)
+	snap, err := c.Crawl(context.Background(), time.Now(), targets, known)
 	if err != nil {
 		return err
 	}
@@ -124,7 +125,7 @@ func run() error {
 		return err
 	}
 	defer closeQuietly(live.Close)
-	liveSnap, err := c.Crawl(time.Now(), []netip.AddrPort{live.Addr()}, nil)
+	liveSnap, err := c.Crawl(context.Background(), time.Now(), []netip.AddrPort{live.Addr()}, nil)
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/addridx"
 	"repro/internal/asmap"
 	"repro/internal/crawler"
 	"repro/internal/netgen"
@@ -30,6 +31,11 @@ type CrawlSeriesConfig struct {
 	// lower values keep large runs fast with negligible estimator
 	// variance at these population sizes).
 	ScanSampleFraction float64
+	// Workers is the per-experiment crawl/scan fan-out width (0 =
+	// GOMAXPROCS). The result is byte-identical at any width: per-target
+	// randomness is keyed by StationID and results merge in target
+	// order.
+	Workers int
 	// Metrics, when set, receives the crawl.* counters cumulatively
 	// across all experiments — the live /metrics view for btccrawl
 	// -series. Nil keeps the study allocation-free of observability.
@@ -122,6 +128,12 @@ func RunCrawlSeries(ctx context.Context, cfg CrawlSeriesConfig) (*CrawlSeriesRes
 // RunCrawlSeriesOn runs the study over an existing universe. The
 // per-experiment loop checks ctx between crawls and stops with ctx.Err()
 // when cancelled.
+//
+// Every station address is interned in u.Index, so the cross-experiment
+// cumulative sets (Figure 4/5 unions, the unique-connected set, the
+// census dedup sets) are dense addridx bitsets rather than address-keyed
+// maps; the only map that survives the loop is the malicious-flooder
+// aggregation, whose population is tiny.
 func RunCrawlSeriesOn(ctx context.Context, u *netgen.Universe, cfg CrawlSeriesConfig) (*CrawlSeriesResult, error) {
 	p := u.Params
 	total := int(p.Horizon / p.CrawlInterval)
@@ -136,10 +148,11 @@ func RunCrawlSeriesOn(ctx context.Context, u *netgen.Universe, cfg CrawlSeriesCo
 		cfg.ScanSampleFraction = 1
 	}
 
+	n := u.Index.Len()
 	res := &CrawlSeriesResult{}
-	cumulativeUnreachable := make(map[netip.AddrPort]struct{})
-	cumulativeResponsive := make(map[netip.AddrPort]struct{})
-	uniqueConnected := make(map[netip.AddrPort]struct{})
+	cumulativeUnreachable := addridx.NewSet(n)
+	cumulativeResponsive := addridx.NewSet(n)
+	uniqueConnected := addridx.NewSet(n)
 	malicious := make(map[netip.AddrPort]*MaliciousRecord)
 	var reachShareSum float64
 	var connectedSum int
@@ -148,8 +161,9 @@ func RunCrawlSeriesOn(ctx context.Context, u *netgen.Universe, cfg CrawlSeriesCo
 	reachableCensus := asmap.NewCensus()
 	responsiveCensus := asmap.NewCensus()
 	unreachableCensus := asmap.NewCensus()
-	countedReachable := make(map[netip.AddrPort]struct{})
-	countedResponsive := make(map[netip.AddrPort]struct{})
+	countedReachable := addridx.NewSet(n)
+	countedResponsive := addridx.NewSet(n)
+	onBitnodes := addridx.NewSet(n)
 
 	for i := 0; i < total; i++ {
 		if err := ctx.Err(); err != nil {
@@ -161,8 +175,12 @@ func RunCrawlSeriesOn(ctx context.Context, u *netgen.Universe, cfg CrawlSeriesCo
 		targets := crawler.TargetsOf(seedView)
 		known := crawler.ReachableReference(seedView)
 
-		c := crawler.New(crawler.Config{Metrics: cfg.Metrics}, view)
-		snap, err := c.Crawl(at, targets, known)
+		c := crawler.New(crawler.Config{
+			Metrics: cfg.Metrics,
+			Workers: cfg.Workers,
+			Index:   u.Index,
+		}, view)
+		snap, err := c.Crawl(ctx, at, targets, known)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: crawl %d: %w", i, err)
 		}
@@ -182,33 +200,38 @@ func RunCrawlSeriesOn(ctx context.Context, u *netgen.Universe, cfg CrawlSeriesCo
 		connectedSum += len(snap.Connected)
 
 		// Figure 3(d): connected nodes absent from the Bitnodes list.
-		onBitnodes := make(map[netip.AddrPort]struct{}, len(seedView.Bitnodes))
+		onBitnodes.Clear()
 		for _, s := range seedView.Bitnodes {
-			onBitnodes[s.Addr] = struct{}{}
+			onBitnodes.Add(s.ID)
 		}
-		for _, a := range snap.Connected {
-			uniqueConnected[a] = struct{}{}
-			if _, ok := onBitnodes[a]; !ok {
+		for k, a := range snap.Connected {
+			id := snap.ConnectedIDs[k]
+			uniqueConnected.Add(id)
+			if !onBitnodes.Contains(id) {
 				st.ConnectedDNSOnly++
 			}
-			addStationCensus(u, a, reachableCensus, countedReachable)
+			if countedReachable.Add(id) {
+				if asn, ok := u.Alloc.ASNOf(a.Addr()); ok {
+					reachableCensus.Add(asn)
+				}
+			}
 		}
 
 		// Figure 4 bookkeeping.
 		st.UniqueUnreachable = len(snap.Unreachable)
-		for a := range snap.Unreachable {
-			if _, seen := cumulativeUnreachable[a]; !seen {
-				cumulativeUnreachable[a] = struct{}{}
-				if asn, ok := u.Alloc.ASNOf(a.Addr()); ok {
-					unreachableCensus.Add(asn)
-				}
-				if a.Port() == 8333 {
-					defaultPort++
-				}
-				totalPorts++
+		for k, a := range snap.Unreachable {
+			if !cumulativeUnreachable.Add(snap.UnreachableIDs[k]) {
+				continue
 			}
+			if asn, ok := u.Alloc.ASNOf(a.Addr()); ok {
+				unreachableCensus.Add(asn)
+			}
+			if a.Port() == 8333 {
+				defaultPort++
+			}
+			totalPorts++
 		}
-		st.CumulativeUnreachable = len(cumulativeUnreachable)
+		st.CumulativeUnreachable = cumulativeUnreachable.Count()
 
 		// ADDR composition.
 		r, unr := snap.AddrComposition()
@@ -238,34 +261,42 @@ func RunCrawlSeriesOn(ctx context.Context, u *netgen.Universe, cfg CrawlSeriesCo
 			// of the address, so the same subset is probed in every
 			// experiment and the scaled cumulative count is an unbiased
 			// estimator of the full union.
-			for a := range snap.Unreachable {
+			for _, a := range snap.Unreachable {
 				if addrSampleBucket(a, stride) == 0 {
 					probeTargets = append(probeTargets, a)
 				}
 			}
-			scan, err := crawler.Scan(at, view, probeTargets)
+			scan, err := crawler.ScanWith(ctx, crawler.ScanConfig{
+				Workers: cfg.Workers,
+				Metrics: cfg.Metrics,
+			}, at, view, probeTargets)
 			if err != nil {
 				return nil, fmt.Errorf("analysis: scan %d: %w", i, err)
 			}
 			st.Responsive = len(scan.Responsive) * stride
 			for _, a := range scan.Responsive {
-				if _, seen := cumulativeResponsive[a]; !seen {
-					cumulativeResponsive[a] = struct{}{}
-					addStationCensus(u, a, responsiveCensus, countedResponsive)
+				id, ok := u.Index.Lookup(a)
+				if !ok {
+					continue
+				}
+				if cumulativeResponsive.Add(id) && countedResponsive.Add(id) {
+					if asn, ok := u.Alloc.ASNOf(a.Addr()); ok {
+						responsiveCensus.Add(asn)
+					}
 				}
 			}
-			st.CumulativeResponsive = len(cumulativeResponsive) * stride
+			st.CumulativeResponsive = cumulativeResponsive.Count() * stride
 		}
 
 		res.Experiments = append(res.Experiments, st)
 	}
 
-	res.TotalUniqueUnreachable = len(cumulativeUnreachable)
-	res.TotalResponsive = len(cumulativeResponsive)
+	res.TotalUniqueUnreachable = cumulativeUnreachable.Count()
+	res.TotalResponsive = cumulativeResponsive.Count()
 	if cfg.ScanSampleFraction < 1 {
 		res.TotalResponsive = int(float64(res.TotalResponsive) / cfg.ScanSampleFraction)
 	}
-	res.UniqueConnected = len(uniqueConnected)
+	res.UniqueConnected = uniqueConnected.Count()
 	res.MeanConnected = float64(connectedSum) / float64(total)
 	res.MeanAddrReachableShare = reachShareSum / float64(total)
 	if totalPorts > 0 {
@@ -275,8 +306,14 @@ func RunCrawlSeriesOn(ctx context.Context, u *netgen.Universe, cfg CrawlSeriesCo
 	for _, rec := range malicious {
 		res.Malicious = append(res.Malicious, *rec)
 	}
+	// Map iteration feeds this sort, so the ordering needs a total
+	// tie-break to stay deterministic when flood volumes collide.
 	sort.Slice(res.Malicious, func(i, j int) bool {
-		return res.Malicious[i].UnreachableSent > res.Malicious[j].UnreachableSent
+		a, b := res.Malicious[i], res.Malicious[j]
+		if a.UnreachableSent != b.UnreachableSent {
+			return a.UnreachableSent > b.UnreachableSent
+		}
+		return addridx.Compare(a.Addr, b.Addr) < 0
 	})
 
 	res.Censuses = []ASClassCensus{
@@ -296,18 +333,6 @@ func addrSampleBucket(a netip.AddrPort, stride int) int {
 	h := (uint32(b[0])*2654435761 + uint32(b[1])*40503 +
 		uint32(b[2])*97 + uint32(b[3])) ^ uint32(a.Port())
 	return int(h % uint32(stride))
-}
-
-// addStationCensus counts a node's AS once across the series.
-func addStationCensus(u *netgen.Universe, a netip.AddrPort,
-	census *asmap.Census, counted map[netip.AddrPort]struct{}) {
-	if _, done := counted[a]; done {
-		return
-	}
-	counted[a] = struct{}{}
-	if asn, ok := u.Alloc.ASNOf(a.Addr()); ok {
-		census.Add(asn)
-	}
 }
 
 // censusOf folds an asmap census into the Table I row format.

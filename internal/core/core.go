@@ -27,6 +27,10 @@ type Options struct {
 	NetSize int
 	// Quick selects reduced durations/populations for smoke runs.
 	Quick bool
+	// Workers is the intra-experiment fan-out width for the crawl and
+	// scan loops (0 = GOMAXPROCS). Results are identical at any width,
+	// so it is not part of any result cache key.
+	Workers int
 }
 
 // withDefaults fills the zero Options.

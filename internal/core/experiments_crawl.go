@@ -37,10 +37,13 @@ func crawlSeriesFor(ctx context.Context, opts Options) (*analysis.CrawlSeriesRes
 		return res, nil
 	}
 	params := netgen.DefaultParams(opts.Seed, opts.Scale)
+	// Workers is deliberately absent from the cache key: the study is
+	// byte-identical at any fan-out width, so width never invalidates.
 	cfg := analysis.CrawlSeriesConfig{
 		Params:                 params,
 		ScannerStartExperiment: 14, // the paper's two-week scanner delay
 		ScanSampleFraction:     1.0,
+		Workers:                opts.Workers,
 	}
 	if opts.Quick {
 		cfg.Experiments = 12

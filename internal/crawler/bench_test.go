@@ -1,6 +1,7 @@
 package crawler
 
 import (
+	"context"
 	"net/netip"
 	"testing"
 	"time"
@@ -8,13 +9,21 @@ import (
 	"repro/internal/netgen"
 )
 
-// BenchmarkCrawlExperiment measures one full Algorithm 1 crawl over a
-// small synthetic universe.
-func BenchmarkCrawlExperiment(b *testing.B) {
-	u, err := netgen.Generate(netgen.DefaultParams(55, 0.02))
+// benchUniverse generates the benchmark universe at the guard scale.
+func benchUniverse(b *testing.B, seed int64) *netgen.Universe {
+	b.Helper()
+	u, err := netgen.Generate(netgen.DefaultParams(seed, 0.02))
 	if err != nil {
 		b.Fatal(err)
 	}
+	return u
+}
+
+// BenchmarkCrawlSnapshot measures one full Algorithm 1 crawl over a
+// small synthetic universe, with the dense index and default fan-out —
+// the hot path of the longitudinal study.
+func BenchmarkCrawlSnapshot(b *testing.B) {
+	u := benchUniverse(b, 55)
 	at := u.Params.Epoch.Add(10 * 24 * time.Hour)
 	seedView := u.SeedViewAt(at)
 	targets := TargetsOf(seedView)
@@ -23,19 +32,16 @@ func BenchmarkCrawlExperiment(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		view := NewUniverseView(u, at)
-		c := New(Config{}, view)
-		if _, err := c.Crawl(at, targets, known); err != nil {
+		c := New(Config{Index: u.Index}, view)
+		if _, err := c.Crawl(context.Background(), at, targets, known); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-// BenchmarkScanExperiment measures the Algorithm 2 probe sweep.
-func BenchmarkScanExperiment(b *testing.B) {
-	u, err := netgen.Generate(netgen.DefaultParams(56, 0.02))
-	if err != nil {
-		b.Fatal(err)
-	}
+// BenchmarkScan measures the Algorithm 2 probe sweep.
+func BenchmarkScan(b *testing.B) {
+	u := benchUniverse(b, 56)
 	at := u.Params.Epoch.Add(10 * 24 * time.Hour)
 	view := NewUniverseView(u, at)
 	var targets []netip.AddrPort
@@ -49,6 +55,21 @@ func BenchmarkScanExperiment(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Scan(at, view, targets); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUniverseView measures freezing a universe instant (the
+// per-experiment pool scan every crawl and scan starts from).
+func BenchmarkUniverseView(b *testing.B) {
+	u := benchUniverse(b, 57)
+	at := u.Params.Epoch.Add(10 * 24 * time.Hour)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		view := NewUniverseView(u, at)
+		if view.OnlineCount() == 0 {
+			b.Fatal("empty view")
 		}
 	}
 }

@@ -10,15 +10,27 @@
 // for 60-day × 700K-address reproductions), the simnet backend (live
 // in-process nodes), and the tcpnet backend (real sockets speaking the
 // real wire protocol).
+//
+// Both the crawl and the scan fan their per-target loops out through
+// internal/par and merge results in target order, so output is
+// byte-identical at any worker count. When Config.Index interns the
+// address universe (the popsim backend always does), every membership
+// set on the hot path is a dense addridx bitset; map sets survive only
+// at the API boundary and as an overlay for uninterned addresses.
 package crawler
 
 import (
+	"context"
 	"errors"
-	"fmt"
 	"net/netip"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/addridx"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/wire"
 )
 
@@ -34,7 +46,8 @@ type Session interface {
 	Close() error
 }
 
-// Dialer opens crawl sessions.
+// Dialer opens crawl sessions. Dial must be safe for concurrent use:
+// the crawl fans targets out across workers.
 type Dialer interface {
 	// Dial connects to a reachable address; it returns an error when the
 	// node is gone, refuses, or times out.
@@ -69,7 +82,8 @@ func (o ProbeOutcome) String() string {
 	}
 }
 
-// Prober sends the scanner's VER probe.
+// Prober sends the scanner's VER probe. Probe must be safe for
+// concurrent use: the scan fans targets out across workers.
 type Prober interface {
 	// Probe classifies the endpoint at addr.
 	Probe(addr netip.AddrPort) (ProbeOutcome, error)
@@ -81,10 +95,24 @@ type Config struct {
 	// (default 50).
 	MaxGetAddrRounds int
 	// MaxNodes caps how many reachable nodes are crawled (0 = no cap).
+	// The cap is defined by dial order, so a non-zero value pins the
+	// crawl to one worker.
 	MaxNodes int
+	// Workers is the crawl fan-out width; zero or negative means
+	// GOMAXPROCS. Results are merged in target order and are
+	// byte-identical at any width.
+	Workers int
+	// Index, when set, interns the address universe: membership sets on
+	// the drain/dedup hot path become dense addridx bitsets instead of
+	// address-keyed maps, and snapshots carry parallel StationID slices.
+	// The popsim backend always provides it; backends whose address
+	// space is open (simnet, tcpnet) may leave it nil and get the map
+	// fallback.
+	Index *addridx.Index
 	// Metrics, when set, receives the crawl reachability series
 	// (crawl.* counters: dials, connections, GETADDR rounds, address
-	// composition). Nil disables instrumentation.
+	// composition; crawl.workers / crawl.targets.pending gauges for
+	// live progress). Nil disables instrumentation.
 	Metrics *obs.Registry
 }
 
@@ -113,6 +141,10 @@ type NodeReport struct {
 	// SentOwnAddr reports whether the node advertised itself — honest
 	// nodes always do; its absence is the §IV-B malice heuristic.
 	SentOwnAddr bool
+	// CloseErr records a session-teardown failure after a successful
+	// drain. The drained data is kept: a failed FIN must not discard an
+	// experiment.
+	CloseErr string
 }
 
 // Snapshot is the outcome of one crawl experiment.
@@ -121,13 +153,23 @@ type Snapshot struct {
 	Time time.Time
 	// Dialed is the number of dial attempts.
 	Dialed int
-	// Connected lists nodes that accepted and completed the crawl.
+	// Connected lists nodes that accepted and completed the crawl, in
+	// target order.
 	Connected []netip.AddrPort
+	// ConnectedIDs holds dense station IDs parallel to Connected. It is
+	// nil when the crawler has no Index; entries are addridx.None for
+	// addresses outside the index.
+	ConnectedIDs []addridx.ID
 	// Reports holds the per-node records, keyed by address.
 	Reports map[netip.AddrPort]*NodeReport
-	// Unreachable is the deduplicated set of collected addresses that
-	// are not in the known-reachable reference set (the paper's N_u).
-	Unreachable map[netip.AddrPort]struct{}
+	// Unreachable is the deduplicated list of collected addresses that
+	// are not in the known-reachable reference set (the paper's N_u),
+	// in deterministic first-seen order: targets in crawl order,
+	// addresses in receipt order within a target.
+	Unreachable []netip.AddrPort
+	// UnreachableIDs holds dense station IDs parallel to Unreachable,
+	// under the same convention as ConnectedIDs.
+	UnreachableIDs []addridx.ID
 }
 
 // Crawler drives crawl experiments over a backend.
@@ -142,6 +184,8 @@ type Crawler struct {
 	mAddrsTotal   *obs.Counter
 	mAddrsReach   *obs.Counter
 	mAddrsUnreach *obs.Counter
+	mWorkers      *obs.Gauge
+	mPending      *obs.Gauge
 }
 
 // New creates a crawler over the given dialer.
@@ -157,50 +201,232 @@ func New(cfg Config, dialer Dialer) *Crawler {
 		mAddrsTotal:   cfg.Metrics.Counter("crawl.addrs.total"),
 		mAddrsReach:   cfg.Metrics.Counter("crawl.addrs.reachable"),
 		mAddrsUnreach: cfg.Metrics.Counter("crawl.addrs.unreachable"),
+		mWorkers:      cfg.Metrics.Gauge("crawl.workers"),
+		mPending:      cfg.Metrics.Gauge("crawl.targets.pending"),
 	}
+}
+
+// knownView is the read-only membership view of the known-reachable
+// reference set, resolved once per crawl: interned addresses collapse
+// into a dense bitset probe, the rest stay behind the API-boundary map.
+type knownView struct {
+	bits *addridx.Set
+	rest map[netip.AddrPort]struct{}
+}
+
+func newKnownView(idx *addridx.Index, known map[netip.AddrPort]struct{}) *knownView {
+	v := &knownView{}
+	if idx == nil {
+		v.rest = known
+		return v
+	}
+	v.bits = addridx.NewSet(idx.Len())
+	for a := range known {
+		if id, ok := idx.Lookup(a); ok {
+			v.bits.Add(id)
+		} else {
+			if v.rest == nil {
+				v.rest = make(map[netip.AddrPort]struct{})
+			}
+			v.rest[a] = struct{}{}
+		}
+	}
+	return v
+}
+
+func (v *knownView) contains(addr netip.AddrPort, id addridx.ID) bool {
+	if id != addridx.None && v.bits != nil {
+		return v.bits.Contains(id)
+	}
+	_, ok := v.rest[addr]
+	return ok
+}
+
+// memberSet is a mutable membership set over addresses: a dense bitset
+// for interned addresses, a map overlay for the rest (always empty
+// under popsim, where the whole universe is interned).
+type memberSet struct {
+	idx  *addridx.Index
+	bits *addridx.Set
+	rest map[netip.AddrPort]struct{}
+}
+
+func newMemberSet(idx *addridx.Index) *memberSet {
+	m := &memberSet{idx: idx}
+	if idx != nil {
+		m.bits = addridx.NewSet(idx.Len())
+	}
+	return m
+}
+
+// resolve returns addr's dense ID, or addridx.None.
+func (m *memberSet) resolve(addr netip.AddrPort) addridx.ID {
+	if m.idx == nil {
+		return addridx.None
+	}
+	id, ok := m.idx.Lookup(addr)
+	if !ok {
+		return addridx.None
+	}
+	return id
+}
+
+// add inserts addr (with its pre-resolved id) and reports whether it
+// was newly added.
+func (m *memberSet) add(addr netip.AddrPort, id addridx.ID) bool {
+	if id != addridx.None {
+		return m.bits.Add(id)
+	}
+	if m.rest == nil {
+		m.rest = make(map[netip.AddrPort]struct{})
+	}
+	if _, dup := m.rest[addr]; dup {
+		return false
+	}
+	m.rest[addr] = struct{}{}
+	return true
+}
+
+func (m *memberSet) clear() {
+	if m.bits != nil {
+		m.bits.Clear()
+	}
+	clear(m.rest)
+}
+
+// crawlJob is one target's private crawl outcome, handed from its
+// worker to the in-order merge loop — the Runner pattern: workers write
+// only their own slot, the merge loop alone touches the snapshot, so
+// output is byte-identical at any worker count and memory for merged
+// slots is released while later targets are still crawling.
+type crawlJob struct {
+	report         *NodeReport // nil when the target was skipped (MaxNodes)
+	unreachable    []netip.AddrPort
+	unreachableIDs []addridx.ID
+	done           chan struct{}
 }
 
 // Crawl runs Algorithm 1 against every address in targets: connect, issue
 // GETADDR until a response adds nothing new, classify each collected
 // address against knownReachable, and accumulate the unreachable set.
-func (c *Crawler) Crawl(at time.Time, targets []netip.AddrPort,
+// Targets are crawled concurrently on Config.Workers workers and merged
+// in target order; ctx cancellation aborts mid-crawl with ctx.Err().
+func (c *Crawler) Crawl(ctx context.Context, at time.Time, targets []netip.AddrPort,
 	knownReachable map[netip.AddrPort]struct{}) (*Snapshot, error) {
 	if len(targets) == 0 {
 		return nil, errors.New("crawler: no targets")
 	}
+	workers := par.Workers(c.cfg.Workers)
+	if c.cfg.MaxNodes > 0 {
+		workers = 1
+	}
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	c.mWorkers.Set(int64(workers))
+	c.mPending.Set(int64(len(targets)))
+
+	known := newKnownView(c.cfg.Index, knownReachable)
+	jobs := make([]crawlJob, len(targets))
+	for i := range jobs {
+		jobs[i].done = make(chan struct{})
+	}
+	scratch := sync.Pool{New: func() any { return newMemberSet(c.cfg.Index) }}
+	var connected atomic.Int64 // MaxNodes accounting; workers == 1 then
+
+	forEachErr := make(chan error, 1)
+	go func() {
+		forEachErr <- par.ForEach(ctx, workers, len(targets), func(ctx context.Context, i int) error {
+			defer close(jobs[i].done)
+			if c.cfg.MaxNodes > 0 && int(connected.Load()) >= c.cfg.MaxNodes {
+				return nil // skipped: report stays nil
+			}
+			seen := scratch.Get().(*memberSet)
+			c.crawlTarget(targets[i], known, seen, &jobs[i])
+			seen.clear()
+			scratch.Put(seen)
+			if jobs[i].report.Connected {
+				connected.Add(1)
+			}
+			c.mPending.Add(-1)
+			return nil
+		})
+	}()
+
+	// Merge loop: fold per-target results into the snapshot in target
+	// order, releasing each job's slices as it lands. Jobs skipped after
+	// a cancellation never close done, so the merge also watches ctx.
 	snap := &Snapshot{
-		Time:        at,
-		Reports:     make(map[netip.AddrPort]*NodeReport, len(targets)),
-		Unreachable: make(map[netip.AddrPort]struct{}),
+		Time:    at,
+		Reports: make(map[netip.AddrPort]*NodeReport, len(targets)),
 	}
-	for _, target := range targets {
-		if c.cfg.MaxNodes > 0 && len(snap.Connected) >= c.cfg.MaxNodes {
-			break
+	global := newMemberSet(c.cfg.Index)
+	mergeErr := func() error {
+		for i := range jobs {
+			select {
+			case <-jobs[i].done:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			rep := jobs[i].report
+			if rep == nil {
+				continue
+			}
+			snap.Dialed++
+			snap.Reports[rep.Addr] = rep
+			if !rep.Connected {
+				continue
+			}
+			snap.Connected = append(snap.Connected, rep.Addr)
+			if c.cfg.Index != nil {
+				snap.ConnectedIDs = append(snap.ConnectedIDs, global.resolve(rep.Addr))
+			}
+			for k, a := range jobs[i].unreachable {
+				id := jobs[i].unreachableIDs[k]
+				if !global.add(a, id) {
+					continue
+				}
+				snap.Unreachable = append(snap.Unreachable, a)
+				if c.cfg.Index != nil {
+					snap.UnreachableIDs = append(snap.UnreachableIDs, id)
+				}
+			}
+			jobs[i] = crawlJob{} // release merged slices early
 		}
-		snap.Dialed++
-		c.mDials.Inc()
-		report := &NodeReport{Addr: target}
-		snap.Reports[target] = report
-		sess, err := c.dialer.Dial(target)
-		if err != nil {
-			continue
-		}
-		report.Connected = true
-		c.mConnected.Inc()
-		snap.Connected = append(snap.Connected, target)
-		c.drainNode(sess, report, knownReachable, snap.Unreachable)
-		if err := sess.Close(); err != nil {
-			return nil, fmt.Errorf("crawler: close %v: %w", target, err)
-		}
+		return nil
+	}()
+	if err := <-forEachErr; err != nil {
+		return nil, err
 	}
+	if mergeErr != nil {
+		return nil, mergeErr
+	}
+	c.mPending.Set(0)
 	return snap, nil
 }
 
+// crawlTarget dials one target and drains it into its private job slot.
+func (c *Crawler) crawlTarget(target netip.AddrPort, known *knownView,
+	seen *memberSet, job *crawlJob) {
+	c.mDials.Inc()
+	job.report = &NodeReport{Addr: target}
+	sess, err := c.dialer.Dial(target)
+	if err != nil {
+		return
+	}
+	job.report.Connected = true
+	c.mConnected.Inc()
+	c.drainNode(sess, known, seen, job)
+	if err := sess.Close(); err != nil {
+		// Teardown failed after a successful drain: record it on the
+		// report and keep the snapshot.
+		job.report.CloseErr = err.Error()
+	}
+}
+
 // drainNode implements the Algorithm 1 inner loop for one node.
-func (c *Crawler) drainNode(sess Session, report *NodeReport,
-	knownReachable map[netip.AddrPort]struct{},
-	unreachable map[netip.AddrPort]struct{}) {
-	seen := make(map[netip.AddrPort]struct{})
+func (c *Crawler) drainNode(sess Session, known *knownView, seen *memberSet, job *crawlJob) {
+	report := job.report
 	for round := 0; round < c.cfg.MaxGetAddrRounds; round++ {
 		addrs, err := sess.GetAddr()
 		if err != nil {
@@ -210,23 +436,24 @@ func (c *Crawler) drainNode(sess Session, report *NodeReport,
 		c.mRounds.Inc()
 		fresh := 0
 		for _, na := range addrs {
-			if _, dup := seen[na.Addr]; dup {
+			id := seen.resolve(na.Addr)
+			if !seen.add(na.Addr, id) {
 				continue
 			}
-			seen[na.Addr] = struct{}{}
 			fresh++
 			report.TotalSent++
 			c.mAddrsTotal.Inc()
 			if na.Addr == report.Addr {
 				report.SentOwnAddr = true
 			}
-			if _, ok := knownReachable[na.Addr]; ok {
+			if known.contains(na.Addr, id) {
 				report.ReachableSent++
 				c.mAddrsReach.Inc()
 			} else {
 				report.UnreachableSent++
 				c.mAddrsUnreach.Inc()
-				unreachable[na.Addr] = struct{}{}
+				job.unreachable = append(job.unreachable, na.Addr)
+				job.unreachableIDs = append(job.unreachableIDs, id)
 			}
 		}
 		// Algorithm 1 termination: a response with no new addresses
@@ -237,12 +464,26 @@ func (c *Crawler) drainNode(sess Session, report *NodeReport,
 	}
 }
 
+// ScanConfig bounds scanner behaviour.
+type ScanConfig struct {
+	// Workers is the probe fan-out width; zero or negative means
+	// GOMAXPROCS. Results are merged in target order and are
+	// byte-identical at any width.
+	Workers int
+	// Metrics, when set, receives the crawl.probe.errors counter.
+	Metrics *obs.Registry
+}
+
 // ScanResult is the outcome of one Algorithm 2 scan.
 type ScanResult struct {
 	// Time is the scan's nominal time.
 	Time time.Time
-	// Probed is the number of probes issued.
+	// Probed is the number of probes issued, including failed ones.
 	Probed int
+	// ProbeErrors counts probes that failed outright (socket errors,
+	// not silence). Failed probes are skipped, mirroring how the crawl
+	// tolerates dial failures.
+	ProbeErrors int
 	// Responsive lists addresses that answered the VER probe.
 	Responsive []netip.AddrPort
 	// ReachableSurprises lists addresses that accepted outright (they
@@ -250,17 +491,43 @@ type ScanResult struct {
 	ReachableSurprises []netip.AddrPort
 }
 
-// Scan runs Algorithm 2: probe every address and collect the responsive
-// ones.
+// Scan runs Algorithm 2 sequentially with default options: probe every
+// address and collect the responsive ones.
 func Scan(at time.Time, prober Prober, addrs []netip.AddrPort) (*ScanResult, error) {
+	return ScanWith(context.Background(), ScanConfig{Workers: 1}, at, prober, addrs)
+}
+
+// ScanWith runs Algorithm 2 with explicit fan-out and instrumentation:
+// probe every address on cfg.Workers workers and collect the responsive
+// ones in target order. Probe failures are counted and skipped — a
+// single refused socket must not abort a 100K-address sweep — so the
+// only error returned is ctx cancellation.
+func ScanWith(ctx context.Context, cfg ScanConfig, at time.Time, prober Prober,
+	addrs []netip.AddrPort) (*ScanResult, error) {
 	res := &ScanResult{Time: at}
-	for _, a := range addrs {
-		outcome, err := prober.Probe(a)
+	outcomes := make([]ProbeOutcome, len(addrs))
+	failed := make([]bool, len(addrs))
+	mProbeErrs := cfg.Metrics.Counter("crawl.probe.errors")
+	err := par.ForEach(ctx, par.Workers(cfg.Workers), len(addrs), func(ctx context.Context, i int) error {
+		outcome, err := prober.Probe(addrs[i])
 		if err != nil {
-			return nil, fmt.Errorf("crawler: probe %v: %w", a, err)
+			failed[i] = true
+			mProbeErrs.Inc()
+			return nil
 		}
+		outcomes[i] = outcome
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range addrs {
 		res.Probed++
-		switch outcome {
+		if failed[i] {
+			res.ProbeErrors++
+			continue
+		}
+		switch outcomes[i] {
 		case ProbeResponsive:
 			res.Responsive = append(res.Responsive, a)
 		case ProbeReachable:
@@ -273,7 +540,9 @@ func Scan(at time.Time, prober Prober, addrs []netip.AddrPort) (*ScanResult, err
 // SuspectedMalicious returns the crawled nodes matching the §IV-B
 // heuristic: connected nodes whose ADDR responses contained no reachable
 // address at all (an honest node always advertises at least itself).
-// minSent filters out nodes that sent too few addresses to judge.
+// minSent filters out nodes that sent too few addresses to judge. The
+// result is sorted by flood volume (then address) — the Reports map
+// iteration feeding it has no stable order of its own.
 func (s *Snapshot) SuspectedMalicious(minSent int) []*NodeReport {
 	var out []*NodeReport
 	for _, r := range s.Reports {
@@ -284,6 +553,12 @@ func (s *Snapshot) SuspectedMalicious(minSent int) []*NodeReport {
 			out = append(out, r)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].UnreachableSent != out[j].UnreachableSent {
+			return out[i].UnreachableSent > out[j].UnreachableSent
+		}
+		return addridx.Compare(out[i].Addr, out[j].Addr) < 0
+	})
 	return out
 }
 

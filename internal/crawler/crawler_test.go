@@ -1,9 +1,11 @@
 package crawler
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/netip"
+	"reflect"
 	"testing"
 	"time"
 
@@ -80,7 +82,7 @@ func na(addr netip.AddrPort) wire.NetAddress {
 
 func TestCrawlEmptyTargets(t *testing.T) {
 	c := New(Config{}, &fakeDialer{})
-	if _, err := c.Crawl(time.Now(), nil, nil); err == nil {
+	if _, err := c.Crawl(context.Background(), time.Now(), nil, nil); err == nil {
 		t.Error("empty targets: want error")
 	}
 }
@@ -94,7 +96,7 @@ func TestCrawlDrainsFullBook(t *testing.T) {
 	d := &fakeDialer{books: map[netip.AddrPort][]wire.NetAddress{target: book}}
 	c := New(Config{}, d)
 	known := map[netip.AddrPort]struct{}{target: {}}
-	snap, err := c.Crawl(time.Unix(0, 0), []netip.AddrPort{target}, known)
+	snap, err := c.Crawl(context.Background(), time.Unix(0, 0), []netip.AddrPort{target}, known)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +130,7 @@ func TestCrawlFailedDialRecorded(t *testing.T) {
 		fails: map[netip.AddrPort]bool{dead: true},
 	}
 	c := New(Config{}, d)
-	snap, err := c.Crawl(time.Unix(0, 0), []netip.AddrPort{alive, dead}, nil)
+	snap, err := c.Crawl(context.Background(), time.Unix(0, 0), []netip.AddrPort{alive, dead}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +155,7 @@ func TestCrawlMaxRoundsBound(t *testing.T) {
 	}
 	d := &fakeDialer{books: map[netip.AddrPort][]wire.NetAddress{target: big}, page: 5}
 	c := New(Config{MaxGetAddrRounds: 10}, d)
-	snap, err := c.Crawl(time.Unix(0, 0), []netip.AddrPort{target}, nil)
+	snap, err := c.Crawl(context.Background(), time.Unix(0, 0), []netip.AddrPort{target}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +173,7 @@ func TestCrawlMaxNodes(t *testing.T) {
 		targets = append(targets, a)
 	}
 	c := New(Config{MaxNodes: 2}, &fakeDialer{books: books})
-	snap, err := c.Crawl(time.Unix(0, 0), targets, nil)
+	snap, err := c.Crawl(context.Background(), time.Unix(0, 0), targets, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +195,7 @@ func TestSuspectedMalicious(t *testing.T) {
 	}}
 	c := New(Config{}, d)
 	known := map[netip.AddrPort]struct{}{honest: {}, evil: {}}
-	snap, err := c.Crawl(time.Unix(0, 0), []netip.AddrPort{honest, evil}, known)
+	snap, err := c.Crawl(context.Background(), time.Unix(0, 0), []netip.AddrPort{honest, evil}, known)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +226,7 @@ func TestAddrComposition(t *testing.T) {
 	}
 	d := &fakeDialer{books: map[netip.AddrPort][]wire.NetAddress{target: book}}
 	c := New(Config{}, d)
-	snap, err := c.Crawl(time.Unix(0, 0), []netip.AddrPort{target}, known)
+	snap, err := c.Crawl(context.Background(), time.Unix(0, 0), []netip.AddrPort{target}, known)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,15 +273,141 @@ func TestScan(t *testing.T) {
 	}
 }
 
-type errProber struct{}
-
-func (errProber) Probe(netip.AddrPort) (ProbeOutcome, error) {
-	return 0, fmt.Errorf("raw socket failure")
+// flakyProber fails on a fixed subset of addresses.
+type flakyProber struct {
+	fail     map[netip.AddrPort]bool
+	outcomes map[netip.AddrPort]ProbeOutcome
 }
 
-func TestScanPropagatesErrors(t *testing.T) {
-	if _, err := Scan(time.Unix(0, 0), errProber{}, []netip.AddrPort{tAddr(1)}); err == nil {
-		t.Error("prober error not propagated")
+func (p *flakyProber) Probe(addr netip.AddrPort) (ProbeOutcome, error) {
+	if p.fail[addr] {
+		return 0, fmt.Errorf("raw socket failure")
+	}
+	if o, ok := p.outcomes[addr]; ok {
+		return o, nil
+	}
+	return ProbeSilent, nil
+}
+
+func TestScanToleratesProbeErrors(t *testing.T) {
+	// A failed probe must be counted and skipped, not abort the sweep:
+	// the responsive address after the failure is still found.
+	p := &flakyProber{
+		fail:     map[netip.AddrPort]bool{tAddr(1): true},
+		outcomes: map[netip.AddrPort]ProbeOutcome{tAddr(2): ProbeResponsive},
+	}
+	res, err := Scan(time.Unix(0, 0), p, []netip.AddrPort{tAddr(1), tAddr(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Probed != 2 {
+		t.Errorf("Probed = %d, want 2", res.Probed)
+	}
+	if res.ProbeErrors != 1 {
+		t.Errorf("ProbeErrors = %d, want 1", res.ProbeErrors)
+	}
+	if len(res.Responsive) != 1 || res.Responsive[0] != tAddr(2) {
+		t.Errorf("Responsive = %v, want [%v]", res.Responsive, tAddr(2))
+	}
+}
+
+func TestScanCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ScanWith(ctx, ScanConfig{Workers: 1}, time.Unix(0, 0),
+		&fakeProber{}, []netip.AddrPort{tAddr(1)})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// closeFailDialer wraps fakeDialer so every session's Close fails.
+type closeFailDialer struct{ fakeDialer }
+
+func (d *closeFailDialer) Dial(addr netip.AddrPort) (Session, error) {
+	sess, err := d.fakeDialer.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &closeFailSession{Session: sess}, nil
+}
+
+type closeFailSession struct{ Session }
+
+func (s *closeFailSession) Close() error { return errors.New("connection reset during FIN") }
+
+func TestCrawlKeepsSnapshotOnCloseError(t *testing.T) {
+	// A session-teardown failure after a successful drain must not
+	// discard the drained data — it is recorded on the report instead.
+	target := tAddr(1)
+	book := []wire.NetAddress{na(target), na(tAddr(10)), na(tAddr(11))}
+	d := &closeFailDialer{fakeDialer{books: map[netip.AddrPort][]wire.NetAddress{target: book}}}
+	c := New(Config{}, d)
+	snap, err := c.Crawl(context.Background(), time.Unix(0, 0),
+		[]netip.AddrPort{target}, map[netip.AddrPort]struct{}{target: {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := snap.Reports[target]
+	if !rep.Connected || rep.TotalSent != len(book) {
+		t.Fatalf("drained data lost: %+v", rep)
+	}
+	if rep.CloseErr == "" {
+		t.Error("close failure not recorded on the report")
+	}
+	if len(snap.Unreachable) != 2 {
+		t.Errorf("unreachable set = %d, want 2", len(snap.Unreachable))
+	}
+}
+
+func TestCrawlWorkerCountInvariance(t *testing.T) {
+	// The snapshot must be byte-identical at any fan-out width: the
+	// popsim backend keys all randomness by StationID and the merge is
+	// in target order.
+	u := smallUniverse(t)
+	at := u.Params.Epoch.Add(10 * 24 * time.Hour)
+	seedView := u.SeedViewAt(at)
+	targets := TargetsOf(seedView)
+	known := ReachableReference(seedView)
+
+	crawlWith := func(workers int) *Snapshot {
+		view := NewUniverseView(u, at)
+		c := New(Config{Workers: workers, Index: u.Index}, view)
+		snap, err := c.Crawl(context.Background(), at, targets, known)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+	seq, par4 := crawlWith(1), crawlWith(4)
+	if !reflect.DeepEqual(seq, par4) {
+		t.Errorf("snapshots differ between workers=1 and workers=4:\n"+
+			"seq: dialed=%d connected=%d unreachable=%d\n"+
+			"par: dialed=%d connected=%d unreachable=%d",
+			seq.Dialed, len(seq.Connected), len(seq.Unreachable),
+			par4.Dialed, len(par4.Connected), len(par4.Unreachable))
+	}
+}
+
+func TestCrawlUnreachableOrderIsFirstSeen(t *testing.T) {
+	// Unreachable addresses are listed in first-seen order: targets in
+	// crawl order, receipt order within a target, duplicates dropped.
+	t1, t2 := tAddr(1), tAddr(2)
+	shared := tAddr(100)
+	books := map[netip.AddrPort][]wire.NetAddress{
+		t1: {na(t1), na(tAddr(101)), na(shared)},
+		t2: {na(t2), na(shared), na(tAddr(102))},
+	}
+	known := map[netip.AddrPort]struct{}{t1: {}, t2: {}}
+	c := New(Config{}, &fakeDialer{books: books})
+	snap, err := c.Crawl(context.Background(), time.Unix(0, 0),
+		[]netip.AddrPort{t1, t2}, known)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []netip.AddrPort{tAddr(101), shared, tAddr(102)}
+	if !reflect.DeepEqual(snap.Unreachable, want) {
+		t.Errorf("Unreachable = %v, want %v", snap.Unreachable, want)
 	}
 }
 
@@ -303,7 +431,7 @@ func TestUniverseViewCrawl(t *testing.T) {
 	known := ReachableReference(seedView)
 
 	c := New(Config{}, view)
-	snap, err := c.Crawl(at, targets, known)
+	snap, err := c.Crawl(context.Background(), at, targets, known)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -393,7 +521,7 @@ func TestUniverseViewMaliciousDetection(t *testing.T) {
 	view := NewUniverseView(u, at)
 	seedView := u.SeedViewAt(at)
 	c := New(Config{}, view)
-	snap, err := c.Crawl(at, TargetsOf(seedView), ReachableReference(seedView))
+	snap, err := c.Crawl(context.Background(), at, TargetsOf(seedView), ReachableReference(seedView))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,7 +2,7 @@ package crawler
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 	"net/netip"
 	"time"
 
@@ -17,12 +17,16 @@ import (
 // UniverseView is a Dialer and Prober over one instant of a synthetic
 // universe. Create a fresh view per experiment: the candidate pools are
 // frozen at construction, matching the paper's per-experiment snapshots.
+//
+// All dial randomness is a pure function of (universe seed, frozen
+// instant, dense StationID) — see netgen.StationRand — so the view is
+// safe for concurrent dials and the outcome of dialing a station is
+// independent of dial order and worker count.
 type UniverseView struct {
 	u       *netgen.Universe
 	at      time.Time
 	online  []*netgen.Station
 	visible []*netgen.Station
-	rng     *rand.Rand
 }
 
 var (
@@ -37,7 +41,6 @@ func NewUniverseView(u *netgen.Universe, t time.Time) *UniverseView {
 		at:      t,
 		online:  u.OnlineReachable(t),
 		visible: u.VisibleUnreachable(t),
-		rng:     rand.New(rand.NewSource(u.Params.Seed ^ t.Unix()*0x9e3779b9)),
 	}
 }
 
@@ -50,6 +53,9 @@ func (v *UniverseView) OnlineCount() int { return len(v.online) }
 // VisibleCount returns the number of gossip-visible unreachable
 // addresses.
 func (v *UniverseView) VisibleCount() int { return len(v.visible) }
+
+// Universe returns the backing universe.
+func (v *UniverseView) Universe() *netgen.Universe { return v.u }
 
 // Dial implements Dialer: the target must be a reachable station that is
 // online at the frozen instant, and even then dials fail with probability
@@ -65,14 +71,15 @@ func (v *UniverseView) Dial(addr netip.AddrPort) (Session, error) {
 	if !st.OnlineAt(v.at) {
 		return nil, fmt.Errorf("popsim: dial %v: %w", addr, errDialTimeout)
 	}
-	if v.rng.Float64() >= v.u.Params.ConnectSuccessRate {
+	rng := netgen.StationRand(v.u.Params.Seed, v.at, st.ID)
+	if rng.Float64() >= v.u.Params.ConnectSuccessRate {
 		return nil, fmt.Errorf("popsim: dial %v: %w", addr, errDialRefused)
 	}
 	book := v.u.AddrBookFrom(st, v.at, v.online, v.visible)
 	return &popSession{
 		remote: addr,
 		book:   book,
-		rng:    rand.New(rand.NewSource(v.rng.Int63())),
+		rng:    rng,
 	}, nil
 }
 

@@ -1,9 +1,10 @@
 package netgen
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"time"
 
+	"repro/internal/addridx"
 	"repro/internal/wire"
 )
 
@@ -15,7 +16,7 @@ import (
 // NetAddr renders a station as a wire NetAddress with a gossip timestamp
 // slightly in the past of t.
 func (u *Universe) NetAddr(s *Station, t time.Time, rng *rand.Rand) wire.NetAddress {
-	jitter := time.Duration(rng.Int63n(int64(3 * time.Hour)))
+	jitter := time.Duration(rng.Int64N(int64(3 * time.Hour)))
 	return wire.NetAddress{
 		Addr:      s.Addr,
 		Services:  wire.SFNodeNetwork,
@@ -29,7 +30,8 @@ func (u *Universe) NetAddr(s *Station, t time.Time, rng *rand.Rand) wire.NetAddr
 // composition. Malicious stations return an unreachable-only flood slice
 // of their budget (no self-advertisement — the detection heuristic's
 // tell). The book is sampled deterministically from the pools current at
-// t using a per-station-per-crawl seed.
+// t using a per-(station, crawl-interval) PCG stream keyed by the dense
+// StationID, so book content is independent of crawl order.
 func (u *Universe) AddrBook(s *Station, t time.Time) []wire.NetAddress {
 	return u.AddrBookFrom(s, t, u.OnlineReachable(t), u.VisibleUnreachable(t))
 }
@@ -40,8 +42,7 @@ func (u *Universe) AddrBook(s *Station, t time.Time) []wire.NetAddress {
 func (u *Universe) AddrBookFrom(s *Station, t time.Time, online, visible []*Station) []wire.NetAddress {
 	p := u.Params
 	crawlIdx := int64(t.Sub(p.Epoch) / p.CrawlInterval)
-	rng := rand.New(rand.NewSource(p.Seed ^ int64(s.Addr.Port())<<32 ^
-		addrSeed(s) ^ crawlIdx*0x9e3779b9))
+	rng := bookRand(p.Seed, crawlIdx, s.ID)
 
 	if s.Malicious {
 		experiments := int(p.Horizon / p.CrawlInterval)
@@ -54,7 +55,7 @@ func (u *Universe) AddrBookFrom(s *Station, t time.Time, online, visible []*Stat
 		}
 		book := make([]wire.NetAddress, 0, per)
 		for i := 0; i < per && len(visible) > 0; i++ {
-			target := visible[rng.Intn(len(visible))]
+			target := visible[rng.IntN(len(visible))]
 			book = append(book, u.NetAddr(target, t, rng))
 		}
 		return book
@@ -69,18 +70,12 @@ func (u *Universe) AddrBookFrom(s *Station, t time.Time, online, visible []*Stat
 	book = append(book, self)
 	for i := 0; i < size; i++ {
 		if rng.Float64() < p.AddrReachableShare && len(online) > 0 {
-			book = append(book, u.NetAddr(online[rng.Intn(len(online))], t, rng))
+			book = append(book, u.NetAddr(online[rng.IntN(len(online))], t, rng))
 		} else if len(visible) > 0 {
-			book = append(book, u.NetAddr(visible[rng.Intn(len(visible))], t, rng))
+			book = append(book, u.NetAddr(visible[rng.IntN(len(visible))], t, rng))
 		}
 	}
 	return book
-}
-
-// addrSeed derives a stable per-station seed component.
-func addrSeed(s *Station) int64 {
-	b := s.Addr.Addr().As4()
-	return int64(b[0])<<24 | int64(b[1])<<16 | int64(b[2])<<8 | int64(b[3])
 }
 
 // SeedView is the crawl bootstrap picture at one instant: the two seed
@@ -105,7 +100,7 @@ type SeedView struct {
 // SeedViewAt builds the seed databases as of t.
 func (u *Universe) SeedViewAt(t time.Time) *SeedView {
 	v := &SeedView{}
-	seen := make(map[*Station]bool)
+	seen := addridx.NewSet(len(u.stations))
 	for _, s := range u.Reachable {
 		onBit := s.OnBitnodes && s.OnlineAt(t)
 		onDNS := s.OnDNS
@@ -130,8 +125,7 @@ func (u *Universe) SeedViewAt(t time.Time) *SeedView {
 				v.CommonExcluded++
 			}
 		}
-		if !s.Critical && !seen[s] {
-			seen[s] = true
+		if !s.Critical && seen.Add(s.ID) {
 			v.Dialable = append(v.Dialable, s)
 		}
 	}

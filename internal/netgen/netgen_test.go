@@ -363,7 +363,7 @@ func TestNetAddrTimestampPast(t *testing.T) {
 	u := generate(t, p)
 	mid := p.Epoch.Add(10 * 24 * time.Hour)
 	s := u.Reachable[0]
-	na := u.NetAddr(s, mid, u.rng)
+	na := u.NetAddr(s, mid, StationRand(p.Seed, mid, s.ID))
 	if na.Timestamp.After(mid) {
 		t.Error("gossip timestamp in the future")
 	}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/addridx"
 	"repro/internal/asmap"
 	"repro/internal/wire"
 )
@@ -60,6 +61,12 @@ func (iv Interval) Duration() time.Duration { return iv.End.Sub(iv.Start) }
 type Station struct {
 	// Addr is the station's address (IP embeds the AS assignment).
 	Addr netip.AddrPort
+	// ID is the station's dense identifier, interned at Universe
+	// construction (see internal/addridx): reachable stations in
+	// generation order, then unreachable stations in appearance order.
+	// Hot paths key membership bitsets and per-target RNG streams off
+	// it instead of hashing the 28-byte address.
+	ID addridx.ID
 	// ASN hosts the station.
 	ASN uint32
 	// Class is the station's population.
@@ -155,9 +162,13 @@ type Universe struct {
 	Unreachable []*Station
 	// Alloc maps the universe's IPs back to ASNs.
 	Alloc *asmap.IPAllocator
+	// Index interns every station address into a dense StationID; it is
+	// built once at the end of Generate and backs ByAddr/ByID plus every
+	// crawl-path membership bitset.
+	Index *addridx.Index
 
-	byAddr map[netip.AddrPort]*Station
-	rng    *rand.Rand
+	stations []*Station // by dense ID
+	rng      *rand.Rand
 }
 
 // Generate builds the universe from p.
@@ -171,7 +182,6 @@ func Generate(p Params) (*Universe, error) {
 	u := &Universe{
 		Params: p,
 		Alloc:  asmap.NewIPAllocator(0),
-		byAddr: make(map[netip.AddrPort]*Station),
 		rng:    rand.New(rand.NewSource(p.Seed)),
 	}
 	if err := u.generateReachable(); err != nil {
@@ -182,11 +192,60 @@ func Generate(p Params) (*Universe, error) {
 	}
 	u.assignSeedViews()
 	u.assignMalicious()
+	if err := u.buildIndex(); err != nil {
+		return nil, err
+	}
 	return u, nil
 }
 
+// buildIndex interns every station into the dense ID space. It runs
+// after generation (the unreachable list is sorted by appearance first),
+// so IDs are stable properties of (Params): reachable stations in
+// generation order, then unreachable stations in appearance order.
+func (u *Universe) buildIndex() error {
+	n := len(u.Reachable) + len(u.Unreachable)
+	addrs := make([]netip.AddrPort, 0, n)
+	u.stations = make([]*Station, 0, n)
+	intern := func(s *Station) {
+		s.ID = addridx.ID(len(u.stations))
+		u.stations = append(u.stations, s)
+		addrs = append(addrs, s.Addr)
+	}
+	for _, s := range u.Reachable {
+		intern(s)
+	}
+	for _, s := range u.Unreachable {
+		intern(s)
+	}
+	idx, err := addridx.Build(addrs)
+	if err != nil {
+		return fmt.Errorf("netgen: intern stations: %w", err)
+	}
+	u.Index = idx
+	return nil
+}
+
 // ByAddr returns the station at addr, or nil.
-func (u *Universe) ByAddr(addr netip.AddrPort) *Station { return u.byAddr[addr] }
+func (u *Universe) ByAddr(addr netip.AddrPort) *Station {
+	id, ok := u.Index.Lookup(addr)
+	if !ok {
+		return nil
+	}
+	return u.stations[id]
+}
+
+// ByID returns the station with the given dense ID, or nil.
+func (u *Universe) ByID(id addridx.ID) *Station {
+	if int(id) >= len(u.stations) {
+		return nil
+	}
+	return u.stations[id]
+}
+
+// NumStations returns the total interned station count (reachable plus
+// unreachable) — the sizing bound for addridx.Set bitsets over this
+// universe.
+func (u *Universe) NumStations() int { return len(u.stations) }
 
 // End returns the end of the measurement horizon.
 func (u *Universe) End() time.Time { return u.Params.Epoch.Add(u.Params.Horizon) }
@@ -252,7 +311,6 @@ func (u *Universe) generateReachable() error {
 			Critical: u.rng.Float64() < p.CriticalInfraPct,
 		}
 		u.Reachable = append(u.Reachable, s)
-		u.byAddr[s.Addr] = s
 		return s, nil
 	}
 
@@ -401,7 +459,6 @@ func (u *Universe) generateUnreachable() error {
 			Visible: Interval{Start: appear, End: expire},
 		}
 		u.Unreachable = append(u.Unreachable, s)
-		u.byAddr[s.Addr] = s
 		return nil
 	}
 

@@ -1,6 +1,7 @@
 package tcpnet
 
 import (
+	"context"
 	"net/netip"
 	"testing"
 	"time"
@@ -135,7 +136,7 @@ func TestNodeServerAnswersCrawler(t *testing.T) {
 	}
 	s := newNodeServer(t, genesis, seeds)
 	c := crawler.New(crawler.Config{}, &Dialer{})
-	snap, err := c.Crawl(time.Now(), []netip.AddrPort{s.Addr()}, nil)
+	snap, err := c.Crawl(context.Background(), time.Now(), []netip.AddrPort{s.Addr()}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package tcpnet
 
 import (
+	"context"
 	"net/netip"
 	"testing"
 	"time"
@@ -66,7 +67,7 @@ func TestCrawlOverRealTCP(t *testing.T) {
 	srv := newTestServer(t, ServerConfig{Book: book})
 	c := crawler.New(crawler.Config{}, &Dialer{})
 	known := map[netip.AddrPort]struct{}{srv.Addr(): {}}
-	snap, err := c.Crawl(time.Now(), []netip.AddrPort{srv.Addr()}, known)
+	snap, err := c.Crawl(context.Background(), time.Now(), []netip.AddrPort{srv.Addr()}, known)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestMaliciousServerDetectedOverTCP(t *testing.T) {
 		evil.Addr():   {},
 		honest.Addr(): {},
 	}
-	snap, err := c.Crawl(time.Now(),
+	snap, err := c.Crawl(context.Background(), time.Now(),
 		[]netip.AddrPort{evil.Addr(), honest.Addr()}, known)
 	if err != nil {
 		t.Fatal(err)
