@@ -5,11 +5,15 @@
 // Usage:
 //
 //	btccrawl [-scale 0.05] [-seed 1] [-day 10] [-scan] [-malicious]
-//	         [-series 0] [-workers 0] [-pprof] [-pprof-addr 127.0.0.1:6060]
+//	         [-series 0] [-csv series.csv] [-workers 0]
+//	         [-pprof] [-pprof-addr 127.0.0.1:6060]
 //
 // With -series N the single-day snapshot is replaced by the full
 // longitudinal study over the first N crawl experiments (Figures 3-5);
-// Ctrl-C cancels between crawls.
+// Ctrl-C cancels between crawls. -csv (with -series) writes one row per
+// crawl experiment as it finishes, flushed row by row, so even a run
+// interrupted mid-series leaves a complete, parseable CSV of every
+// finished experiment.
 //
 // -workers sets the crawl/scan fan-out width (0 = GOMAXPROCS). Results
 // are byte-identical at any width; timing goes to stderr so stdout can
@@ -18,10 +22,13 @@ package main
 
 import (
 	"context"
+	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/analysis"
@@ -45,6 +52,7 @@ func run() error {
 		scan      = flag.Bool("scan", false, "also run the responsive scan (Algorithm 2)")
 		malicious = flag.Bool("malicious", false, "report suspected ADDR flooders")
 		series    = flag.Int("series", 0, "run the longitudinal study over this many crawl experiments instead of one snapshot")
+		csvOut    = flag.String("csv", "", "with -series: write one CSV row per crawl experiment as it finishes (flushed per row)")
 		workers   = flag.Int("workers", 0, "crawl/scan fan-out width (0 = GOMAXPROCS; output is identical at any width)")
 		pprof     = flag.Bool("pprof", false, "serve net/http/pprof profiles while the crawl runs")
 		pprofAddr = flag.String("pprof-addr", "127.0.0.1:6060", "pprof listen address (with -pprof; port 0 picks a free port)")
@@ -70,13 +78,29 @@ func run() error {
 
 	params := netgen.DefaultParams(*seed, *scale)
 	if *series > 0 {
-		start := time.Now()
-		res, err := analysis.RunCrawlSeries(ctx, analysis.CrawlSeriesConfig{
+		cfg := analysis.CrawlSeriesConfig{
 			Params:      params,
 			Experiments: *series,
 			Workers:     *workers,
 			Metrics:     reg,
-		})
+		}
+		seriesClose := func() error { return nil }
+		if *csvOut != "" {
+			sw, err := newSeriesCSV(*csvOut)
+			if err != nil {
+				return err
+			}
+			cfg.OnExperiment = sw.row
+			seriesClose = sw.close
+			// Backstop close: a Ctrl-C that cancels the series mid-loop
+			// still syncs what the per-row flushes already put on disk.
+			defer seriesClose() //nolint:errcheck // explicit call below reports it
+		}
+		start := time.Now()
+		res, err := analysis.RunCrawlSeries(ctx, cfg)
+		if cerr := seriesClose(); cerr != nil && err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return err
 		}
@@ -88,6 +112,10 @@ func run() error {
 		fmt.Printf("mean ADDR reachable share %.1f%%, flagged flooders %d\n",
 			100*res.MeanAddrReachableShare, len(res.Malicious))
 		return nil
+	}
+
+	if *csvOut != "" {
+		return fmt.Errorf("-csv requires -series (the snapshot mode has no series to write)")
 	}
 
 	fmt.Fprintf(os.Stderr, "generating universe (scale %.2f)...\n", *scale)
@@ -140,6 +168,92 @@ func run() error {
 			res.Probed, len(res.Responsive),
 			100*float64(len(res.Responsive))/float64(res.Probed),
 			len(res.ReachableSurprises))
+	}
+	return nil
+}
+
+// seriesCSV lands one crawl experiment per row, flushed row by row, so
+// a series interrupted by Ctrl-C still leaves a complete CSV of every
+// experiment that finished. Errors are sticky and reported by close.
+type seriesCSV struct {
+	f    *os.File
+	w    *csv.Writer
+	once sync.Once
+	err  error
+}
+
+// seriesHeader is the column order of the per-experiment series CSV.
+var seriesHeader = []string{
+	"index", "time",
+	"bitnodes", "dns", "common",
+	"bitnodes_excluded", "dns_excluded", "common_excluded",
+	"dialed", "connected", "connected_dns_only",
+	"unique_unreachable", "cumulative_unreachable",
+	"responsive", "cumulative_responsive",
+	"reachable_share", "unreachable_share",
+}
+
+func newSeriesCSV(path string) (*seriesCSV, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("csv: %w", err)
+	}
+	s := &seriesCSV{f: f, w: csv.NewWriter(f)}
+	if err := s.w.Write(seriesHeader); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("csv: %w", err)
+	}
+	s.w.Flush()
+	if err := s.w.Error(); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("csv: %w", err)
+	}
+	return s, nil
+}
+
+// row appends one experiment (the CrawlSeriesConfig.OnExperiment hook).
+func (s *seriesCSV) row(st analysis.ExperimentStats) {
+	if s.err != nil {
+		return
+	}
+	rec := []string{
+		strconv.Itoa(st.Index), st.Time.UTC().Format(time.RFC3339),
+		strconv.Itoa(st.Bitnodes), strconv.Itoa(st.DNS), strconv.Itoa(st.Common),
+		strconv.Itoa(st.BitnodesExcluded), strconv.Itoa(st.DNSExcluded), strconv.Itoa(st.CommonExcluded),
+		strconv.Itoa(st.Dialed), strconv.Itoa(st.Connected), strconv.Itoa(st.ConnectedDNSOnly),
+		strconv.Itoa(st.UniqueUnreachable), strconv.Itoa(st.CumulativeUnreachable),
+		strconv.Itoa(st.Responsive), strconv.Itoa(st.CumulativeResponsive),
+		strconv.FormatFloat(st.ReachableShare, 'f', 6, 64),
+		strconv.FormatFloat(st.UnreachableShare, 'f', 6, 64),
+	}
+	if err := s.w.Write(rec); err != nil {
+		s.err = err
+		return
+	}
+	// Flush per row: the file on disk is always header + whole rows.
+	s.w.Flush()
+	if err := s.w.Error(); err != nil {
+		s.err = err
+	}
+}
+
+// close flushes, syncs, and closes the file once; safe to call from
+// both the deferred backstop and the explicit error-reporting site.
+func (s *seriesCSV) close() error {
+	s.once.Do(func() {
+		s.w.Flush()
+		if err := s.w.Error(); err != nil && s.err == nil {
+			s.err = err
+		}
+		if err := s.f.Sync(); err != nil && s.err == nil {
+			s.err = err
+		}
+		if err := s.f.Close(); err != nil && s.err == nil {
+			s.err = err
+		}
+	})
+	if s.err != nil {
+		return fmt.Errorf("csv: %w", s.err)
 	}
 	return nil
 }

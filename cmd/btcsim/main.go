@@ -27,6 +27,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sync"
 	"time"
 
 	"repro/internal/analysis"
@@ -100,7 +101,7 @@ func run() error {
 		Metrics:                 liveReg,
 	}
 
-	var traceClose func() error
+	traceClose := func() error { return nil }
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -111,13 +112,23 @@ func run() error {
 		// but with -runs > 1 lines from different runs interleave in
 		// completion order (split on the seed-dependent span IDs).
 		base.TraceSink = w.Sink()
+		var once sync.Once
+		var closeErr error
 		traceClose = func() error {
-			// Close flushes and closes f; first sticky error wins.
-			if err := w.Close(); err != nil {
-				return fmt.Errorf("trace-out: %w", err)
-			}
-			return nil
+			// Close flushes and closes f; first sticky error wins. The
+			// Once makes it safe to call from both the explicit
+			// error-propagating site below and the deferred backstop.
+			once.Do(func() {
+				if err := w.Close(); err != nil {
+					closeErr = fmt.Errorf("trace-out: %w", err)
+				}
+			})
+			return closeErr
 		}
+		// Backstop: every return path — including a Ctrl-C that
+		// cancels the runs mid-flight — flushes the buffered tail so
+		// the file on disk is always complete, parseable NDJSON.
+		defer traceClose() //nolint:errcheck // explicit call below reports it
 	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -141,10 +152,8 @@ func run() error {
 		summarize(&bufs[i], res)
 		return nil
 	})
-	if traceClose != nil {
-		if cerr := traceClose(); cerr != nil && err == nil {
-			err = cerr
-		}
+	if cerr := traceClose(); cerr != nil && err == nil {
+		err = cerr
 	}
 	if err != nil {
 		return err

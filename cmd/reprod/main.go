@@ -1,0 +1,111 @@
+// Command reprod serves experiment reproductions over HTTP: clients
+// POST an experiment spec and get the finished report back, backed by a
+// crash-safe content-addressed artifact cache, bounded admission with
+// explicit load-shedding, per-run deadlines, and panic isolation.
+//
+// Usage:
+//
+//	reprod [-addr 127.0.0.1:8344] [-cache reprod-cache]
+//	       [-max-active 0] [-max-queue 64]
+//	       [-run-timeout 10m] [-drain-timeout 30s]
+//
+// API:
+//
+//	POST /run                 submit a spec (JSON), receive the rendered
+//	                          report; ?stream=1 streams NDJSON progress
+//	                          events ending in a run.result event
+//	GET  /runs/{key}          artifact manifest (JSON)
+//	GET  /runs/{key}/report   rendered text report
+//	GET  /runs/{key}/report.html  self-contained HTML page
+//	GET  /runs/{key}/csv/{name}   one CSV sidecar
+//	GET  /healthz /readyz /metrics  liveness, readiness, Prometheus
+//
+// SIGTERM/SIGINT starts a graceful drain: admissions stop (readyz turns
+// 503), in-flight runs finish or are cancelled at the drain deadline,
+// and the cache index is flushed before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/reprod"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "reprod:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8344", "listen address (port 0 picks a free port)")
+		cacheDir     = flag.String("cache", "reprod-cache", "content-addressed artifact cache directory")
+		maxActive    = flag.Int("max-active", 0, "max concurrently executing runs (0 = GOMAXPROCS)")
+		maxQueue     = flag.Int("max-queue", 64, "max admitted requests waiting for a slot; beyond this, shed with 429")
+		runTimeout   = flag.Duration("run-timeout", 10*time.Minute, "per-run wall-clock deadline ceiling")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight runs before cancelling them")
+	)
+	flag.Parse()
+
+	srv, err := reprod.New(reprod.Config{
+		CacheDir:   *cacheDir,
+		MaxActive:  *maxActive,
+		MaxQueue:   *maxQueue,
+		RunTimeout: *runTimeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	// The ready line goes to stdout so wrappers (the CI smoke script)
+	// can wait for it and learn the bound address.
+	fmt.Printf("reprod listening on http://%s (cache %s, %d entries)\n",
+		ln.Addr(), *cacheDir, srv.Cache().Len())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admitting, finish or cancel in-flight runs
+	// within the deadline, flush the cache index, then close the
+	// listener.
+	fmt.Fprintln(os.Stderr, "reprod: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(drainCtx)
+
+	shutCtx, cancelShut := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShut()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	fmt.Fprintln(os.Stderr, "reprod: drained cleanly")
+	<-serveErr // Serve has returned http.ErrServerClosed by now
+	return nil
+}

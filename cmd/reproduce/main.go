@@ -15,10 +15,16 @@
 // Experiments run concurrently on -workers goroutines (default
 // GOMAXPROCS) with deterministic, worker-count-independent output;
 // Ctrl-C cancels mid-simulation.
+//
+// A failing (or panicking) experiment does not stop the batch: the
+// remaining experiments still run and render, each failure is
+// summarised on stderr as "reproduce: FAILED <id>: <cause>", and the
+// process exits non-zero.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -67,11 +73,15 @@ func run() error {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
 
+	// KeepGoing: one broken experiment must not cost the rest of the
+	// batch. Failures are summarised per experiment on stderr after
+	// everything has run, and the process still exits non-zero.
 	runner := core.Runner{
-		Workers:  *workers,
-		Options:  opts,
-		CSVDir:   *csvDir,
-		Profiles: os.Stderr,
+		Workers:   *workers,
+		Options:   opts,
+		CSVDir:    *csvDir,
+		Profiles:  os.Stderr,
+		KeepGoing: true,
 	}
 	// The HTML report collects finished reports from the Runner's
 	// ordered merge loop, so the page is deterministic at any -workers.
@@ -103,7 +113,7 @@ func run() error {
 	case *all:
 		start := time.Now()
 		if err := runner.Run(ctx, core.Experiments(), os.Stdout); err != nil {
-			return err
+			return finishBatch(err, writeReport)
 		}
 		// Wall time is nondeterministic; keep stdout byte-identical
 		// across worker counts.
@@ -122,7 +132,7 @@ func run() error {
 			exps = append(exps, e)
 		}
 		if err := runner.Run(ctx, exps, os.Stdout); err != nil {
-			return err
+			return finishBatch(err, writeReport)
 		}
 		return writeReport()
 
@@ -130,6 +140,33 @@ func run() error {
 		flag.Usage()
 		return fmt.Errorf("one of -list, -id, -all, or -render is required")
 	}
+}
+
+// finishBatch handles a Runner failure: for a KeepGoing batch it prints
+// one stderr line per failed experiment, still writes the HTML report
+// (the healthy experiments' results are real and already on stdout),
+// and returns a compact error so main exits non-zero. Any other error
+// (cancellation, I/O) passes through untouched.
+func finishBatch(err error, writeReport func() error) error {
+	var batch *core.BatchError
+	if !errors.As(err, &batch) {
+		return err
+	}
+	for _, f := range batch.Failures {
+		fmt.Fprintf(os.Stderr, "reproduce: FAILED %s: %v\n", f.ID, firstLine(f.Err.Error()))
+	}
+	if werr := writeReport(); werr != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", werr)
+	}
+	return fmt.Errorf("%d of %d experiments failed", len(batch.Failures), batch.Total)
+}
+
+// firstLine clips a (possibly multi-line panic) message for the summary.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 // renderArtifact draws figure artifacts that are pictures rather than

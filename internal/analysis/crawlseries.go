@@ -40,6 +40,12 @@ type CrawlSeriesConfig struct {
 	// across all experiments — the live /metrics view for btccrawl
 	// -series. Nil keeps the study allocation-free of observability.
 	Metrics *obs.Registry
+	// OnExperiment, when set, is called with each experiment's stats as
+	// soon as that crawl (and its scan) completes, in experiment order
+	// and never concurrently — the incremental-output hook btccrawl uses
+	// to land one CSV row per experiment, so a cancelled series still
+	// leaves every finished experiment on disk.
+	OnExperiment func(ExperimentStats)
 }
 
 // ExperimentStats is one crawl experiment's outcome (one x-axis point of
@@ -289,6 +295,9 @@ func RunCrawlSeriesOn(ctx context.Context, u *netgen.Universe, cfg CrawlSeriesCo
 		}
 
 		res.Experiments = append(res.Experiments, st)
+		if cfg.OnExperiment != nil {
+			cfg.OnExperiment(st)
+		}
 	}
 
 	res.TotalUniqueUnreachable = cumulativeUnreachable.Count()

@@ -1,79 +1,102 @@
 package core
 
 import (
+	"bytes"
 	"encoding/csv"
 	"fmt"
 	"os"
 	"path/filepath"
 )
 
-// WriteCSV writes every table of the report into dir as
-// <id>_<table>.csv, creating dir if needed.
-func (r *Report) WriteCSV(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("core: create %s: %w", dir, err)
-	}
+// CSVFile is one rendered CSV artifact of a report: the file name
+// WriteCSV would use and its exact bytes.
+type CSVFile struct {
+	// Name is the file name ("<id>_<table>.csv", "<id>_timeseries.csv",
+	// "<id>_metrics.csv").
+	Name string
+	// Data is the rendered CSV content.
+	Data []byte
+}
+
+// CSVFiles renders every CSV sidecar of the report in memory: one file
+// per table, the sim-time series sidecar, and the metrics summary, in
+// that order. WriteCSV writes exactly these bytes to disk, so callers
+// that bundle artifacts (the reprod service cache) and callers that
+// write directories produce byte-identical content.
+func (r *Report) CSVFiles() ([]CSVFile, error) {
+	var out []CSVFile
 	for i := range r.Tables {
 		t := &r.Tables[i]
-		path := filepath.Join(dir, fmt.Sprintf("%s_%s.csv", r.ID, sanitize(t.Name)))
-		if err := writeOneCSV(path, t); err != nil {
-			return err
+		name := fmt.Sprintf("%s_%s.csv", r.ID, sanitize(t.Name))
+		data, err := renderOneCSV(t)
+		if err != nil {
+			return nil, fmt.Errorf("core: render %s: %w", name, err)
 		}
+		out = append(out, CSVFile{Name: name, Data: data})
 	}
 	// Sim-time series land in a timeseries sidecar next to the tables.
 	if r.Series != nil && r.Series.Len() > 0 {
-		path := filepath.Join(dir, fmt.Sprintf("%s_timeseries.csv", r.ID))
-		f, err := os.Create(path)
-		if err != nil {
-			return fmt.Errorf("core: create %s: %w", path, err)
+		name := fmt.Sprintf("%s_timeseries.csv", r.ID)
+		var buf bytes.Buffer
+		if err := r.Series.WriteCSV(&buf); err != nil {
+			return nil, fmt.Errorf("core: render %s: %w", name, err)
 		}
-		if err := r.Series.WriteCSV(f); err != nil {
-			_ = f.Close()
-			return fmt.Errorf("core: write %s: %w", path, err)
-		}
-		if err := f.Close(); err != nil {
-			return fmt.Errorf("core: close %s: %w", path, err)
-		}
+		out = append(out, CSVFile{Name: name, Data: buf.Bytes()})
 	}
 	// The metrics themselves also land in a summary CSV.
 	if len(r.Metrics) > 0 {
-		path := filepath.Join(dir, fmt.Sprintf("%s_metrics.csv", r.ID))
+		name := fmt.Sprintf("%s_metrics.csv", r.ID)
 		t := Table{
 			Header: []string{"metric", "measured", "paper"},
 		}
 		for _, m := range r.Metrics {
 			t.Rows = append(t.Rows, []string{m.Name, m.Value, m.Paper})
 		}
-		if err := writeOneCSV(path, &t); err != nil {
-			return err
+		data, err := renderOneCSV(&t)
+		if err != nil {
+			return nil, fmt.Errorf("core: render %s: %w", name, err)
+		}
+		out = append(out, CSVFile{Name: name, Data: data})
+	}
+	return out, nil
+}
+
+// WriteCSV writes every CSV sidecar of the report into dir, creating
+// dir if needed. The files are the ones CSVFiles renders.
+func (r *Report) WriteCSV(dir string) error {
+	files, err := r.CSVFiles()
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: create %s: %w", dir, err)
+	}
+	for _, f := range files {
+		path := filepath.Join(dir, f.Name)
+		if err := os.WriteFile(path, f.Data, 0o644); err != nil {
+			return fmt.Errorf("core: write %s: %w", path, err)
 		}
 	}
 	return nil
 }
 
-// writeOneCSV writes one table to path.
-func writeOneCSV(path string, t *Table) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("core: create %s: %w", path, err)
-	}
-	w := csv.NewWriter(f)
+// renderOneCSV renders one table to bytes.
+func renderOneCSV(t *Table) ([]byte, error) {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
 	if err := w.Write(t.Header); err != nil {
-		_ = f.Close()
-		return fmt.Errorf("core: write %s: %w", path, err)
+		return nil, err
 	}
 	for _, row := range t.Rows {
 		if err := w.Write(row); err != nil {
-			_ = f.Close()
-			return fmt.Errorf("core: write %s: %w", path, err)
+			return nil, err
 		}
 	}
 	w.Flush()
 	if err := w.Error(); err != nil {
-		_ = f.Close()
-		return fmt.Errorf("core: flush %s: %w", path, err)
+		return nil, err
 	}
-	return f.Close()
+	return buf.Bytes(), nil
 }
 
 // sanitize makes a table name filesystem-friendly.

@@ -34,6 +34,13 @@ var keySeries = []string{
 // series are listed by name so nothing is silently hidden.
 const maxSparklines = 24
 
+// RenderHTMLReport writes reports as a single self-contained HTML page
+// to w — the in-memory twin of WriteHTMLReport, used by the reprod
+// service to bundle the page into its content-addressed artifact cache.
+func RenderHTMLReport(w io.Writer, reports []*Report) error {
+	return renderHTML(w, reports)
+}
+
 // WriteHTMLReport writes reports as a single HTML page at path.
 func WriteHTMLReport(path string, reports []*Report) error {
 	f, err := os.Create(path)

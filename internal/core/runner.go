@@ -5,6 +5,9 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime/debug"
+	"strings"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/par"
@@ -37,6 +40,57 @@ type Runner struct {
 	// order from the merge loop (never concurrently) — the hook the HTML
 	// report writer hangs off.
 	Collect func(*Report)
+	// Trace, when non-nil, receives lifecycle progress events: exp.start
+	// when a worker picks an experiment up, exp.done (with wall-clock
+	// Dur) when it finishes, exp.fail when it errors or panics. Events
+	// are wall-clock timed and worker-ordered, so they are a live
+	// progress surface (the reprod service streams them as NDJSON), not
+	// part of the deterministic report output.
+	Trace *obs.Tracer
+	// KeepGoing, when true, stops a failing (or panicking) experiment
+	// from cancelling the rest of the batch: every experiment runs,
+	// successes are emitted in order exactly as usual, and Run returns a
+	// *BatchError aggregating the per-experiment failures. When false
+	// (the default) the first failure cancels outstanding work and is
+	// returned alone, preserving the historical contract.
+	KeepGoing bool
+}
+
+// JobError is one failed experiment inside a KeepGoing batch.
+type JobError struct {
+	// Index is the experiment's slice position.
+	Index int
+	// ID is the experiment identifier.
+	ID string
+	// Err is the failure, already wrapped with the ID.
+	Err error
+}
+
+// BatchError aggregates every experiment failure of a KeepGoing run.
+type BatchError struct {
+	// Failures holds one entry per failed experiment, in slice order.
+	Failures []JobError
+	// Total is the batch size the failures came out of.
+	Total int
+}
+
+// Error summarises the batch failure count and the failing IDs.
+func (e *BatchError) Error() string {
+	ids := make([]string, len(e.Failures))
+	for i, f := range e.Failures {
+		ids[i] = f.ID
+	}
+	return fmt.Sprintf("core: %d of %d experiments failed: %s",
+		len(e.Failures), e.Total, strings.Join(ids, ", "))
+}
+
+// Unwrap exposes the individual failures to errors.Is/As.
+func (e *BatchError) Unwrap() []error {
+	errs := make([]error, len(e.Failures))
+	for i, f := range e.Failures {
+		errs[i] = f.Err
+	}
+	return errs
 }
 
 // runnerJob is one experiment's private result, handed from its worker
@@ -47,15 +101,42 @@ type runnerJob struct {
 	buf     bytes.Buffer
 	profBuf bytes.Buffer
 	rep     *Report
+	err     error
 	ok      bool
 	done    chan struct{}
 }
 
+// emitTrace publishes one lifecycle event on the progress tracer. The
+// tracer stamps wall-clock time; a nil Trace makes this a no-op.
+func (r *Runner) emitTrace(kind, id, detail string, dur time.Duration) {
+	if r.Trace == nil {
+		return
+	}
+	r.Trace.Emit(obs.Event{Kind: kind, Detail: id + detail, Dur: dur})
+}
+
+// runOne executes experiment e with panic containment: a panicking
+// Run is recovered into a *par.PanicError carrying the job index and
+// the faulting stack, so under KeepGoing (or behind the reprod service)
+// one crashed experiment cannot take the batch or the process down.
+func (r *Runner) runOne(ctx context.Context, i int, e Experiment) (rep *Report, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			rep = nil
+			err = &par.PanicError{Index: i, Value: rec, Stack: debug.Stack()}
+		}
+	}()
+	return e.Run(ctx, r.Options)
+}
+
 // Run executes exps on the pool and renders each report to w in slice
 // order. The first failure cancels outstanding work and is returned
-// wrapped with its experiment ID; if ctx is cancelled, Run stops
-// mid-simulation and returns ctx.Err(). Output is streamed: a report is
-// written as soon as it and all its predecessors are done.
+// wrapped with its experiment ID (unless KeepGoing is set, which runs
+// everything and aggregates failures into a *BatchError); if ctx is
+// cancelled, Run stops mid-simulation and returns ctx.Err(). Output is
+// streamed: a report is written as soon as it and all its predecessors
+// are done, and a report is always written whole or not at all — the
+// merge loop never copies a failed or half-rendered buffer.
 func (r *Runner) Run(ctx context.Context, exps []Experiment, w io.Writer) error {
 	jobs := make([]runnerJob, len(exps))
 	for i := range jobs {
@@ -67,34 +148,54 @@ func (r *Runner) Run(ctx context.Context, exps []Experiment, w io.Writer) error 
 		forEachErr <- par.ForEach(ctx, r.Workers, len(exps), func(ctx context.Context, i int) error {
 			defer close(jobs[i].done)
 			e := exps[i]
+			r.emitTrace("exp.start", e.ID, "", 0)
+			begin := time.Now()
 			stop := obs.StartProfile()
-			rep, err := e.Run(ctx, r.Options)
+			rep, err := r.runOne(ctx, i, e)
 			if err != nil {
-				return fmt.Errorf("core: %s: %w", e.ID, err)
+				jobs[i].err = fmt.Errorf("core: %s: %w", e.ID, err)
+				r.emitTrace("exp.fail", e.ID, ": "+err.Error(), time.Since(begin))
+				if r.KeepGoing {
+					return nil
+				}
+				return jobs[i].err
 			}
 			rep.Profile = stop()
 			fmt.Fprintf(&jobs[i].profBuf, "  profile: %s\n", rep.Profile)
 			if err := rep.Render(&jobs[i].buf); err != nil {
-				return fmt.Errorf("core: %s: %w", e.ID, err)
+				jobs[i].err = fmt.Errorf("core: %s: %w", e.ID, err)
+				r.emitTrace("exp.fail", e.ID, ": "+err.Error(), time.Since(begin))
+				if r.KeepGoing {
+					return nil
+				}
+				return jobs[i].err
 			}
 			fmt.Fprintln(&jobs[i].buf)
 			if r.CSVDir != "" {
 				if err := rep.WriteCSV(r.CSVDir); err != nil {
-					return fmt.Errorf("core: %s: %w", e.ID, err)
+					jobs[i].err = fmt.Errorf("core: %s: %w", e.ID, err)
+					r.emitTrace("exp.fail", e.ID, ": "+err.Error(), time.Since(begin))
+					if r.KeepGoing {
+						return nil
+					}
+					return jobs[i].err
 				}
 			}
 			jobs[i].rep = rep
 			jobs[i].ok = true
+			r.emitTrace("exp.done", e.ID, "", time.Since(begin))
 			return nil
 		})
 	}()
 
 	// Merge loop: emit buffered reports in slice order. A job that
 	// failed (or was interrupted by the induced cancellation) stops the
-	// emission; the pool's deterministic error — the lowest-index real
-	// failure, or ctx.Err() — is what the caller sees. Jobs skipped
-	// after cancellation never close done, but they are all beyond the
+	// emission — or, under KeepGoing, is recorded and skipped; the
+	// pool's deterministic error — the lowest-index real failure, or
+	// ctx.Err() — is what the caller sees. Jobs skipped after
+	// cancellation never close done, but they are all beyond the
 	// failing index, which the loop below never passes.
+	var batch *BatchError
 	emitted := func() error {
 		for i := range jobs {
 			select {
@@ -103,6 +204,18 @@ func (r *Runner) Run(ctx context.Context, exps []Experiment, w io.Writer) error 
 				return ctx.Err()
 			}
 			if !jobs[i].ok {
+				if r.KeepGoing {
+					err := jobs[i].err
+					if err == nil {
+						err = fmt.Errorf("core: %s failed", exps[i].ID)
+					}
+					if batch == nil {
+						batch = &BatchError{Total: len(exps)}
+					}
+					batch.Failures = append(batch.Failures,
+						JobError{Index: i, ID: exps[i].ID, Err: err})
+					continue
+				}
 				return fmt.Errorf("core: %s failed", exps[i].ID)
 			}
 			if _, err := w.Write(jobs[i].buf.Bytes()); err != nil {
@@ -124,5 +237,11 @@ func (r *Runner) Run(ctx context.Context, exps []Experiment, w io.Writer) error 
 	if err := <-forEachErr; err != nil {
 		return err
 	}
-	return emitErr
+	if emitErr != nil {
+		return emitErr
+	}
+	if batch != nil {
+		return batch
+	}
+	return nil
 }

@@ -14,11 +14,18 @@ import (
 // event order across concurrent runs is wall-clock racing and therefore
 // not deterministic, unlike the per-run digests.
 type NDJSONWriter struct {
-	mu  sync.Mutex
-	bw  *bufio.Writer
-	c   io.Closer
-	err error
+	mu        sync.Mutex
+	bw        *bufio.Writer
+	c         io.Closer
+	fl        flusher
+	autoFlush bool
+	err       error
 }
+
+// flusher matches http.Flusher (and http.ResponseWriter) without
+// importing net/http: a Flush with no results. *bufio.Writer's
+// error-returning Flush deliberately does not match.
+type flusher interface{ Flush() }
 
 // eventJSON is the serialized event shape. Span identifiers are emitted
 // only when present, keeping point events compact.
@@ -40,7 +47,22 @@ func NewNDJSONWriter(w io.Writer) *NDJSONWriter {
 	if c, ok := w.(io.Closer); ok {
 		n.c = c
 	}
+	if f, ok := w.(flusher); ok {
+		n.fl = f
+	}
 	return n
+}
+
+// AutoFlush switches the writer into live-streaming mode: every event
+// is flushed through the internal buffer — and, when the underlying
+// writer is an http.Flusher (a streaming HTTP response), through that
+// too — as soon as it is written. File sinks keep the default batched
+// mode; the reprod progress stream turns this on so clients see each
+// event the moment it happens.
+func (n *NDJSONWriter) AutoFlush(on bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.autoFlush = on
 }
 
 // Sink returns a tracer stream callback writing each event as one JSON
@@ -79,6 +101,16 @@ func (n *NDJSONWriter) Sink() func(Event) {
 		}
 		if err := n.bw.WriteByte('\n'); err != nil {
 			n.err = err
+			return
+		}
+		if n.autoFlush {
+			if err := n.bw.Flush(); err != nil {
+				n.err = err
+				return
+			}
+			if n.fl != nil {
+				n.fl.Flush()
+			}
 		}
 	}
 }

@@ -13,7 +13,9 @@ package par
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -27,6 +29,37 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// PanicError is a worker panic converted into an error by ForEach or
+// Replicate. It carries the panicking job's index, the recovered value,
+// and the goroutine stack at the panic site, so a service layer can
+// report a structured failure while the process keeps running.
+type PanicError struct {
+	// Index is the job index whose fn panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error renders the panic with its job index and stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: job %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// safeCall invokes fn(ctx, i), converting a panic into a *PanicError so
+// one crashing job cannot take down the pool (or, behind a server, the
+// process). The stack is captured at recovery time, inside the
+// panicking goroutine, so it points at the faulting experiment code.
+func safeCall(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, i)
+}
+
 // ForEach runs fn(ctx, i) for every i in [0, n) on a pool of workers
 // goroutines. Indices are dispatched in order through an atomic counter,
 // so with workers == 1 the loop is exactly sequential.
@@ -36,7 +69,9 @@ func Workers(n int) int {
 // deterministic: if the parent context was cancelled, ctx.Err() wins;
 // otherwise the real (non-context-cancellation) error with the lowest
 // index is returned, so the same inputs yield the same error whatever
-// order the workers happened to fail in.
+// order the workers happened to fail in. A panicking fn does not crash
+// the process: it is recovered into a *PanicError carrying the job
+// index and stack, and selected like any other job error.
 func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
@@ -50,7 +85,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(ctx, i); err != nil {
+			if err := safeCall(ctx, i, fn); err != nil {
 				return err
 			}
 		}
@@ -78,7 +113,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 				if runCtx.Err() != nil {
 					return
 				}
-				if err := fn(runCtx, i); err != nil {
+				if err := safeCall(runCtx, i, fn); err != nil {
 					mu.Lock()
 					errs[i] = err
 					mu.Unlock()
@@ -122,8 +157,8 @@ func firstError(errs map[int]error) error {
 // concurrently, one goroutine per replication. Replication counts are
 // small (the paper's sweeps use 3-5 paired seeds), so a bounded pool
 // would only serialise them; full fan-out also guarantees the race
-// detector sees real concurrency even on single-core hosts. Error
-// semantics match ForEach.
+// detector sees real concurrency even on single-core hosts. Error and
+// panic-recovery semantics match ForEach.
 func Replicate(ctx context.Context, n int, fn func(ctx context.Context, rep int) error) error {
 	if n <= 0 {
 		return ctx.Err()

@@ -3,6 +3,8 @@ package par
 import (
 	"context"
 	"errors"
+	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -141,6 +143,70 @@ func TestForEachSequentialPreCancelled(t *testing.T) {
 	}
 	if ran != 0 {
 		t.Fatalf("%d jobs ran under a cancelled context", ran)
+	}
+}
+
+// TestForEachRecoversPanics checks a panicking job surfaces as a
+// *PanicError carrying the job index and a stack, on both the
+// sequential and the pooled path, instead of crashing the process.
+func TestForEachRecoversPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(context.Background(), workers, 8, func(_ context.Context, i int) error {
+			if i == 3 {
+				panic("boom")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: got %v (%T), want *PanicError", workers, err, err)
+		}
+		if pe.Index != 3 {
+			t.Errorf("workers=%d: Index = %d, want 3", workers, pe.Index)
+		}
+		if pe.Value != "boom" {
+			t.Errorf("workers=%d: Value = %v, want boom", workers, pe.Value)
+		}
+		if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "par_test.go") {
+			t.Errorf("workers=%d: stack missing panic site:\n%s", workers, pe.Stack)
+		}
+		if !strings.Contains(err.Error(), "job 3 panicked: boom") {
+			t.Errorf("workers=%d: Error() = %q", workers, err.Error())
+		}
+	}
+}
+
+// TestForEachPanicBeatsInducedCancellation checks a panic is selected
+// like a real error: jobs interrupted by the panic-triggered
+// cancellation do not mask it.
+func TestForEachPanicBeatsInducedCancellation(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		err := ForEach(context.Background(), 4, 8, func(jobCtx context.Context, i int) error {
+			if i == 1 {
+				panic(fmt.Sprintf("trial %d", trial))
+			}
+			<-jobCtx.Done()
+			return jobCtx.Err()
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) || pe.Index != 1 {
+			t.Fatalf("trial %d: got %v, want *PanicError at index 1", trial, err)
+		}
+	}
+}
+
+// TestReplicateRecoversPanics checks the replication fan-out inherits
+// panic containment.
+func TestReplicateRecoversPanics(t *testing.T) {
+	err := Replicate(context.Background(), 3, func(_ context.Context, rep int) error {
+		if rep == 2 {
+			panic(errors.New("replication fault"))
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 2 {
+		t.Fatalf("got %v, want *PanicError at index 2", err)
 	}
 }
 

@@ -1,0 +1,246 @@
+package reprod
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Bundle is the complete artifact set for one spec: everything a client
+// can fetch, rendered once and stored as a single JSON document so the
+// whole result is committed (or not) atomically.
+type Bundle struct {
+	// Key is the content address the bundle is stored under.
+	Key string `json:"key"`
+	// Version is the code version that produced it.
+	Version string `json:"version"`
+	// Spec is the request that produced it.
+	Spec Spec `json:"spec"`
+	// Report is the rendered text report — byte-identical to what
+	// `reproduce -id <id>` writes to stdout for the same options.
+	Report string `json:"report"`
+	// HTML is the self-contained HTML page for the run.
+	HTML string `json:"html"`
+	// CSV holds the CSV sidecars ([]byte fields serialize as base64).
+	CSV []core.CSVFile `json:"csv,omitempty"`
+}
+
+// CSVNames lists the bundle's CSV artifact names in order.
+func (b *Bundle) CSVNames() []string {
+	names := make([]string, len(b.CSV))
+	for i, f := range b.CSV {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// CSVByName finds one CSV artifact.
+func (b *Bundle) CSVByName(name string) (core.CSVFile, bool) {
+	for _, f := range b.CSV {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return core.CSVFile{}, false
+}
+
+// indexEntry is one cache entry's bookkeeping in the persisted index.
+type indexEntry struct {
+	Size int64 `json:"size"`
+	Hits int64 `json:"hits"`
+}
+
+// Cache is the crash-safe content-addressed artifact store. Every
+// bundle lives in one file named <key>.json; writes go through a
+// temp-file + fsync + rename protocol, so a reader can only ever
+// observe a complete bundle or no bundle — a kill -9 mid-write leaves a
+// .tmp- leftover that the next Open sweeps, never a torn final file.
+// As defence in depth, a final file that fails to decode (manual
+// corruption, partial copy from elsewhere) is treated as a miss and
+// removed rather than served.
+type Cache struct {
+	dir string
+
+	mu    sync.Mutex
+	index map[string]indexEntry
+
+	hits, misses *obs.Counter
+	entries      *obs.Gauge
+}
+
+// tmpPrefix marks in-progress writes; Open deletes leftovers.
+const tmpPrefix = ".tmp-"
+
+// indexName is the advisory index file flushed on drain. The directory
+// scan is authoritative on open — the index only carries hit counters
+// across restarts — so losing it is harmless.
+const indexName = "index.json"
+
+// OpenCache opens (creating if needed) the cache rooted at dir,
+// sweeps torn temp files from a previous crash, and rebuilds the entry
+// index from the directory contents. reg, when non-nil, receives the
+// reprod.cache.* metrics.
+func OpenCache(dir string, reg *obs.Registry) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("reprod: create cache dir %s: %w", dir, err)
+	}
+	c := &Cache{
+		dir:     dir,
+		index:   make(map[string]indexEntry),
+		hits:    reg.Counter("reprod.cache.hits"),
+		misses:  reg.Counter("reprod.cache.misses"),
+		entries: reg.Gauge("reprod.cache.entries"),
+	}
+
+	// Merge hit counters from a previous drain's index, if one survives.
+	prior := make(map[string]indexEntry)
+	if data, err := os.ReadFile(filepath.Join(dir, indexName)); err == nil {
+		_ = json.Unmarshal(data, &prior) // advisory: a corrupt index is ignored
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("reprod: scan cache dir %s: %w", dir, err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		switch {
+		case strings.HasPrefix(name, tmpPrefix):
+			// A write that died mid-flight; the final file was never
+			// renamed into place, so this is garbage by construction.
+			_ = os.Remove(filepath.Join(dir, name))
+		case strings.HasSuffix(name, ".json") && name != indexName:
+			key := strings.TrimSuffix(name, ".json")
+			info, err := ent.Info()
+			if err != nil {
+				continue
+			}
+			e := indexEntry{Size: info.Size()}
+			if p, ok := prior[key]; ok {
+				e.Hits = p.Hits
+			}
+			c.index[key] = e
+		}
+	}
+	c.entries.Set(int64(len(c.index)))
+	return c, nil
+}
+
+// path returns the final file for key.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get loads the bundle for key. A missing, torn, or undecodable file is
+// a miss (the latter is also removed); only a fully committed bundle is
+// ever returned.
+func (c *Cache) Get(key string) (*Bundle, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.misses.Inc()
+		return nil, false
+	}
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil || b.Key != key {
+		// Corrupt or foreign content under this key: drop it so the next
+		// request recomputes instead of serving garbage forever.
+		_ = os.Remove(c.path(key))
+		c.mu.Lock()
+		delete(c.index, key)
+		c.entries.Set(int64(len(c.index)))
+		c.mu.Unlock()
+		c.misses.Inc()
+		return nil, false
+	}
+	c.mu.Lock()
+	e := c.index[key]
+	e.Hits++
+	e.Size = int64(len(data))
+	c.index[key] = e
+	c.mu.Unlock()
+	c.hits.Inc()
+	return &b, true
+}
+
+// Put commits the bundle under its key: marshal, write to a temp file
+// in the same directory, fsync the file, rename over the final name,
+// and fsync the directory so the rename itself survives a crash. A
+// concurrent Get during any point of this sequence sees either the old
+// state or the complete new bundle, never a prefix.
+func (c *Cache) Put(b *Bundle) error {
+	data, err := json.Marshal(b)
+	if err != nil {
+		return fmt.Errorf("reprod: marshal bundle %s: %w", b.Key, err)
+	}
+	if err := atomicWrite(c.dir, b.Key+".json", data); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	e := c.index[b.Key]
+	e.Size = int64(len(data))
+	c.index[b.Key] = e
+	c.entries.Set(int64(len(c.index)))
+	c.mu.Unlock()
+	return nil
+}
+
+// atomicWrite is the temp + fsync + rename + dir-fsync protocol shared
+// by bundle and index writes.
+func atomicWrite(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, tmpPrefix+name+"-")
+	if err != nil {
+		return fmt.Errorf("reprod: create temp for %s: %w", name, err)
+	}
+	tmpName := tmp.Name()
+	// Any failure below removes the temp so crash sweep has less to do.
+	fail := func(step string, err error) error {
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("reprod: %s %s: %w", step, name, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail("write", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail("fsync", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fail("close", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("reprod: rename %s: %w", name, err)
+	}
+	// fsync the directory so the rename is durable, not just atomic.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// Len reports the number of committed entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.index)
+}
+
+// FlushIndex persists the advisory index (sizes and hit counters) with
+// the same atomic protocol as bundles — the drain path calls this so
+// hit statistics survive orderly restarts.
+func (c *Cache) FlushIndex() error {
+	c.mu.Lock()
+	data, err := json.Marshal(c.index)
+	c.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("reprod: marshal cache index: %w", err)
+	}
+	return atomicWrite(c.dir, indexName, data)
+}

@@ -1,0 +1,198 @@
+package reprod
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+func testBundle(key string) *Bundle {
+	return &Bundle{
+		Key:     key,
+		Version: "test",
+		Spec:    Spec{ID: "tiny", Seed: 5},
+		Report:  "== tiny — tiny ==\n  seed  5\n\n",
+		HTML:    "<!DOCTYPE html>\n",
+		CSV: []core.CSVFile{
+			{Name: "tiny_metrics.csv", Data: []byte("metric,measured,paper\nseed,5,\n")},
+		},
+	}
+}
+
+// fakeKey builds a syntactically plausible cache key.
+func fakeKey(seed string) string {
+	return strings.Repeat("0", 64-len(seed)) + seed
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	c, err := OpenCache(t.TempDir(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := fakeKey("ab")
+	if _, ok := c.Get(key); ok {
+		t.Fatal("Get on empty cache returned a bundle")
+	}
+	want := testBundle(key)
+	if err := c.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("Get after Put missed")
+	}
+	if got.Report != want.Report || got.HTML != want.HTML || len(got.CSV) != 1 ||
+		!bytes.Equal(got.CSV[0].Data, want.CSV[0].Data) {
+		t.Errorf("round-trip mismatch: %+v", got)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	if h, m := reg.Counter("reprod.cache.hits").Value(), reg.Counter("reprod.cache.misses").Value(); h != 1 || m != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", h, m)
+	}
+}
+
+// TestCacheSweepsTornTemp checks a temp file left by a crashed writer
+// is deleted on open and never indexed.
+func TestCacheSweepsTornTemp(t *testing.T) {
+	dir := t.TempDir()
+	torn := filepath.Join(dir, tmpPrefix+"half.json-123")
+	if err := os.WriteFile(torn, []byte(`{"key":"half","report":"trunc`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenCache(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Error("torn temp file survived the open sweep")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d, want 0", c.Len())
+	}
+}
+
+// TestCacheCorruptEntryIsMissAndRemoved checks a torn or foreign final
+// file is never served: it reads as a miss and is dropped.
+func TestCacheCorruptEntryIsMissAndRemoved(t *testing.T) {
+	dir := t.TempDir()
+	key := fakeKey("bad")
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte(`{"key":"bad","rep`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// An entry whose content is valid JSON but for a different key must
+	// also be rejected — the content address is part of the contract.
+	other := fakeKey("ee")
+	data, _ := json.Marshal(testBundle(fakeKey("ff")))
+	if err := os.WriteFile(filepath.Join(dir, other+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := OpenCache(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{key, other} {
+		if _, ok := c.Get(k); ok {
+			t.Errorf("corrupt entry %s was served", k)
+		}
+		if _, err := os.Stat(filepath.Join(dir, k+".json")); !os.IsNotExist(err) {
+			t.Errorf("corrupt entry %s not removed", k)
+		}
+	}
+}
+
+// TestCacheIndexSurvivesReopen checks FlushIndex + reopen carries hit
+// counters across an orderly restart, and that entries are re-indexed
+// from the directory scan.
+func TestCacheIndexSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := OpenCache(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := fakeKey("11")
+	if err := c1.Put(testBundle(key)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c1.Get(key); !ok {
+		t.Fatal("miss after Put")
+	}
+	if err := c1.FlushIndex(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, indexName))
+	if err != nil {
+		t.Fatalf("index not written: %v", err)
+	}
+	var idx map[string]indexEntry
+	if err := json.Unmarshal(data, &idx); err != nil {
+		t.Fatalf("index does not parse: %v", err)
+	}
+	if idx[key].Hits != 1 {
+		t.Errorf("persisted hits = %d, want 1", idx[key].Hits)
+	}
+
+	c2, err := OpenCache(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != 1 {
+		t.Fatalf("reopened Len = %d, want 1", c2.Len())
+	}
+	if _, ok := c2.Get(key); !ok {
+		t.Fatal("reopened cache missed a committed entry")
+	}
+	if err := c2.FlushIndex(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(filepath.Join(dir, indexName))
+	_ = json.Unmarshal(data, &idx)
+	if idx[key].Hits != 2 {
+		t.Errorf("hits after reopen = %d, want 2 (carried + new)", idx[key].Hits)
+	}
+}
+
+// TestCacheConcurrentPutGet hammers one key from writers and readers;
+// under -race this checks the locking, and every successful Get must
+// return a complete bundle.
+func TestCacheConcurrentPutGet(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := fakeKey("cc")
+	want := testBundle(key)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if err := c.Put(want); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if b, ok := c.Get(key); ok && b.Report != want.Report {
+					t.Error("Get returned a torn bundle")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,133 @@
+// Package reprod is the reproduce-as-a-service layer: a hardened HTTP
+// server that accepts experiment specs, executes them through the
+// core.Runner engine, and serves the finished artifacts (rendered
+// report, HTML page, CSV sidecars) out of a crash-safe content-addressed
+// cache.
+//
+// The design is robustness-first, because the service exists to absorb
+// exactly the abuse the paper documents on the live network (88.8%
+// connection-failure rates, churn, ADDR flooders): admission is bounded
+// and sheds load explicitly with 429 + Retry-After, every run carries a
+// wall-clock deadline and is cancelled when the last interested client
+// disconnects, a panicking experiment becomes a structured error
+// response while the server keeps serving, and identical concurrent
+// specs are deduplicated through a singleflight group so N submissions
+// cost one execution. Results are deterministic functions of
+// (code version, spec), so artifacts are keyed by a content hash and
+// persisted with a temp-file + fsync + rename protocol that a kill -9
+// can never tear.
+package reprod
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/core"
+)
+
+// Spec is one client-submitted experiment request. The result-relevant
+// fields (ID, Seed, Scale, NetSize, Quick) form the cache identity;
+// Workers and TimeoutMS tune execution without changing the artifact
+// (results are byte-identical at any worker count, and a deadline
+// either produces the full artifact or no artifact), so they stay out
+// of the key.
+type Spec struct {
+	// ID names the experiment (core registry: "fig1" … "chaos").
+	ID string `json:"id"`
+	// Seed drives all randomness (0 means the engine default, 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Scale multiplies the snapshot-study population sizes.
+	Scale float64 `json:"scale,omitempty"`
+	// NetSize is the live-node count for message-level simulations.
+	NetSize int `json:"netsize,omitempty"`
+	// Quick selects the reduced smoke-run sizes.
+	Quick bool `json:"quick,omitempty"`
+	// Workers is the intra-experiment fan-out width (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMS, when positive, lowers the server's per-run deadline for
+	// this spec (it can never raise it past the server maximum).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Validate rejects specs the server must not run: unknown experiment
+// IDs and parameters outside the ranges the simulator is calibrated
+// for. lookup resolves experiment IDs (the server injects core.ByID;
+// tests inject synthetic registries).
+func (s Spec) Validate(lookup func(string) (core.Experiment, bool)) error {
+	if s.ID == "" {
+		return fmt.Errorf("reprod: spec has no experiment id")
+	}
+	if _, ok := lookup(s.ID); !ok {
+		return fmt.Errorf("reprod: unknown experiment %q", s.ID)
+	}
+	if s.Seed < 0 {
+		return fmt.Errorf("reprod: negative seed %d", s.Seed)
+	}
+	if s.Scale < 0 || s.Scale > 1 {
+		return fmt.Errorf("reprod: scale %g out of range [0, 1]", s.Scale)
+	}
+	if s.NetSize < 0 || s.NetSize > 5000 {
+		return fmt.Errorf("reprod: netsize %d out of range [0, 5000]", s.NetSize)
+	}
+	if s.Workers < 0 || s.Workers > 64 {
+		return fmt.Errorf("reprod: workers %d out of range [0, 64]", s.Workers)
+	}
+	if s.TimeoutMS < 0 {
+		return fmt.Errorf("reprod: negative timeout_ms %d", s.TimeoutMS)
+	}
+	return nil
+}
+
+// Options maps the spec onto engine options.
+func (s Spec) Options() core.Options {
+	return core.Options{
+		Seed:    s.Seed,
+		Scale:   s.Scale,
+		NetSize: s.NetSize,
+		Quick:   s.Quick,
+		Workers: s.Workers,
+	}
+}
+
+// Key derives the spec's content address: a SHA-256 over the code
+// version and the result-relevant fields in a fixed canonical encoding.
+// Two requests share a key exactly when they are guaranteed to produce
+// byte-identical artifacts.
+func (s Spec) Key(version string) string {
+	canonical := fmt.Sprintf("v=%s|id=%s|seed=%d|scale=%g|netsize=%d|quick=%t",
+		version, s.ID, s.Seed, s.Scale, s.NetSize, s.Quick)
+	sum := sha256.Sum256([]byte(canonical))
+	return hex.EncodeToString(sum[:])
+}
+
+// CodeVersion identifies the running build for cache keying: the VCS
+// revision when the binary carries one (suffixed when the worktree was
+// dirty), otherwise the main module version, otherwise "dev". A cache
+// shared across deployments can therefore never serve artifacts from a
+// different code version.
+func CodeVersion() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	var rev, modified string
+	for _, kv := range info.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			rev = kv.Value
+		case "vcs.modified":
+			if kv.Value == "true" {
+				modified = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		return rev + modified
+	}
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	return "dev"
+}

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Service smoke drill for cmd/reprod: boot the real binary, hit it over
+# HTTP, and check the service contract end to end —
+#
+#   1. two concurrent identical specs produce byte-identical responses
+#      and exactly ONE execution (singleflight + cache),
+#   2. the served report is byte-identical to the reproduce CLI's stdout
+#      for the same options,
+#   3. a repeat request is a cache hit,
+#   4. SIGTERM drains cleanly (non-zero exit or a hung process fails
+#      the drill) and flushes the cache index.
+#
+# Run from the repository root: ./scripts/service_smoke.sh
+set -euo pipefail
+
+SPEC='{"id":"fig7","quick":true,"seed":7}'
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "--- build"
+go build -o "$tmp/reprod" ./cmd/reprod
+
+echo "--- start"
+"$tmp/reprod" -addr 127.0.0.1:0 -cache "$tmp/cache" \
+  >"$tmp/stdout.log" 2>"$tmp/stderr.log" &
+pid=$!
+
+base=""
+for _ in $(seq 1 100); do
+  base=$(sed -n 's#^reprod listening on \(http://[^ ]*\).*#\1#p' "$tmp/stdout.log")
+  [ -n "$base" ] && break
+  kill -0 "$pid" 2>/dev/null || { echo "server died at startup"; cat "$tmp/stderr.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$base" ] || { echo "server never printed its ready line"; exit 1; }
+echo "serving at $base"
+
+curl -fsS "$base/healthz" >/dev/null
+curl -fsS "$base/readyz" >/dev/null
+
+echo "--- two concurrent identical specs"
+curl -fsS -X POST "$base/run" -d "$SPEC" -o "$tmp/a.txt" &
+ca=$!
+curl -fsS -X POST "$base/run" -d "$SPEC" -o "$tmp/b.txt" &
+cb=$!
+wait "$ca" "$cb"
+cmp "$tmp/a.txt" "$tmp/b.txt" || { echo "concurrent responses differ"; exit 1; }
+
+executed=$(curl -fsS "$base/metrics" | awk '$1 == "reprod_runs_executed" {print $2}')
+[ "$executed" = "1" ] || { echo "reprod_runs_executed = $executed, want 1"; exit 1; }
+echo "one execution, byte-identical responses"
+
+echo "--- byte-identity against the reproduce CLI"
+go run ./cmd/reproduce -id fig7 -quick -seed 7 >"$tmp/cli.txt" 2>/dev/null
+cmp "$tmp/a.txt" "$tmp/cli.txt" || { echo "service report differs from CLI stdout"; exit 1; }
+
+echo "--- repeat request is a cache hit"
+hit=$(curl -fsS -D - -X POST "$base/run" -d "$SPEC" -o /dev/null |
+  tr -d '\r' | awk 'tolower($1) == "x-reprod-cache:" {print $2}')
+[ "$hit" = "hit" ] || { echo "X-Reprod-Cache = '$hit', want hit"; exit 1; }
+
+echo "--- graceful drain on SIGTERM"
+kill -TERM "$pid"
+drained=1
+for _ in $(seq 1 100); do
+  if ! kill -0 "$pid" 2>/dev/null; then drained=0; break; fi
+  sleep 0.1
+done
+[ "$drained" = 0 ] || { echo "server did not exit within 10s of SIGTERM"; exit 1; }
+wait "$pid" || { echo "server exited non-zero on drain"; cat "$tmp/stderr.log"; exit 1; }
+pid=""
+grep -q "drained cleanly" "$tmp/stderr.log" || { echo "no clean-drain line"; cat "$tmp/stderr.log"; exit 1; }
+[ -f "$tmp/cache/index.json" ] || { echo "drain did not flush the cache index"; exit 1; }
+
+echo "service smoke drill PASSED"
