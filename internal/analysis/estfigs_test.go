@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/netgen"
+)
+
+func TestRunEstFigs(t *testing.T) {
+	base := netgen.DefaultParams(7, 0.02)
+	cfg := EstFigsConfig{Base: base, Rounds: 2, Workers: 1}
+	seq, err := RunEstFigs(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := RunEstFigs(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("estimator sweep differs between 1 and 4 workers")
+	}
+
+	if len(seq.Cells) != 8 {
+		t.Fatalf("cells = %d, want 8 (churn × flooders × mix grid)", len(seq.Cells))
+	}
+	names := map[string]bool{}
+	for _, c := range seq.Cells {
+		if names[c.Name] {
+			t.Errorf("duplicate cell name %q", c.Name)
+		}
+		names[c.Name] = true
+		if c.Observations == 0 || c.Sources == 0 {
+			t.Errorf("%s: empty measurement (obs=%d sources=%d)", c.Name, c.Observations, c.Sources)
+		}
+		if c.PopTruthMean <= 0 {
+			t.Errorf("%s: population truth %v, want > 0", c.Name, c.PopTruthMean)
+		}
+		// Tolerances observed well inside these bounds at quick scale:
+		// population recurrence inversion lands within a few percent,
+		// full-drain degree enumeration is near-exact, and the
+		// single-exchange ratio probe is a ~5%-biased lower-bound proxy.
+		if c.PopRelErr >= 0.10 {
+			t.Errorf("%s: population relative error %v, want < 0.10", c.Name, c.PopRelErr)
+		}
+		if c.DegRelErr >= 0.05 {
+			t.Errorf("%s: degree relative error %v, want < 0.05", c.Name, c.DegRelErr)
+		}
+		if c.DegRatioRelErr >= 0.15 {
+			t.Errorf("%s: ratio-probe relative error %v, want < 0.15", c.Name, c.DegRatioRelErr)
+		}
+	}
+	for _, want := range []string{"low-f0-r15", "high-f73-r40"} {
+		if !names[want] {
+			t.Errorf("missing grid cell %q", want)
+		}
+	}
+
+	if seq.Series == nil || len(seq.Series.Series) == 0 {
+		t.Fatal("no time-series emitted")
+	}
+	var qualified, deltas int
+	for _, s := range seq.Series.Series {
+		if strings.HasPrefix(s.Name, "est.pop.") || strings.HasPrefix(s.Name, "est.deg.") {
+			qualified++
+			if len(s.Points) != cfg.Rounds {
+				t.Errorf("series %s has %d points, want %d", s.Name, len(s.Points), cfg.Rounds)
+			}
+		}
+		if strings.HasSuffix(s.Name, ".delta") {
+			deltas++
+		}
+	}
+	if qualified == 0 {
+		t.Error("no cell-qualified estimator series")
+	}
+	if deltas == 0 {
+		t.Error("no counter-delta series from the first cell's registry")
+	}
+}
+
+func TestCellParamsGrid(t *testing.T) {
+	base := netgen.DefaultParams(1, 0.02)
+	grid := estGrid()
+	seeds := map[int64]bool{}
+	for i, spec := range grid {
+		p := cellParams(base, spec, i, 3)
+		if seeds[p.Seed] {
+			t.Errorf("cell %d: duplicate seed %d", i, p.Seed)
+		}
+		seeds[p.Seed] = true
+		if p.Horizon != 3*p.CrawlInterval {
+			t.Errorf("cell %d: horizon %v, want %v", i, p.Horizon, 3*p.CrawlInterval)
+		}
+		if !spec.flooders && p.MaliciousCount != 0 {
+			t.Errorf("cell %d: flooderless cell has %d malicious", i, p.MaliciousCount)
+		}
+		if spec.flooders && p.MaliciousCount == 0 {
+			t.Errorf("cell %d: flooder cell has no malicious", i)
+		}
+		if p.ResponsiveFraction != spec.respMix {
+			t.Errorf("cell %d: responsive fraction %v, want %v", i, p.ResponsiveFraction, spec.respMix)
+		}
+		if spec.churn == "low" && p.MeanSessionOn <= base.MeanSessionOn {
+			t.Errorf("cell %d: low churn did not lengthen sessions", i)
+		}
+	}
+}

@@ -232,6 +232,8 @@ func registry() []Experiment {
 		fig12Experiment(),
 		fig13Experiment(),
 		addrMixExperiment(),
+		figEstPopExperiment(),
+		figEstDegreeExperiment(),
 		resyncExperiment(),
 		syncDepExperiment(),
 		ablationExperiment(),

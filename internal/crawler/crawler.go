@@ -89,6 +89,31 @@ type Prober interface {
 	Probe(addr netip.AddrPort) (ProbeOutcome, error)
 }
 
+// Exchange is one observed GETADDR→ADDR exchange: Source answered the
+// Round-th GETADDR of its drain with Addrs. Observers receive exchanges
+// exactly as the session returned them — duplicates, self-references
+// and all — so downstream estimators choose their own filtering.
+type Exchange struct {
+	// At is the crawl's nominal time.
+	At time.Time
+	// Source is the crawled node that answered.
+	Source netip.AddrPort
+	// SourceID is Source's dense station ID, or addridx.None when the
+	// crawler has no Index (or the address is outside it).
+	SourceID addridx.ID
+	// Round is the zero-based GETADDR round within Source's drain.
+	Round int
+	// Addrs is the raw ADDR response. The slice is owned by the
+	// observer; the crawler does not reuse it.
+	Addrs []wire.NetAddress
+}
+
+// Observer receives crawl exchanges. Deliveries happen on the merge
+// goroutine in target order (and round order within a target), so an
+// observer needs no locking and sees a byte-identical stream at any
+// worker count. Attaching an observer does not perturb the snapshot.
+type Observer func(Exchange)
+
 // Config bounds crawler behaviour.
 type Config struct {
 	// MaxGetAddrRounds caps the Algorithm 1 repeat loop per node
@@ -114,6 +139,10 @@ type Config struct {
 	// composition; crawl.workers / crawl.targets.pending gauges for
 	// live progress). Nil disables instrumentation.
 	Metrics *obs.Registry
+	// Observer, when set, receives every GETADDR→ADDR exchange in
+	// deterministic target order (see Observer). Nil disables capture —
+	// and its buffering cost — entirely.
+	Observer Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -303,6 +332,7 @@ type crawlJob struct {
 	report         *NodeReport // nil when the target was skipped (MaxNodes)
 	unreachable    []netip.AddrPort
 	unreachableIDs []addridx.ID
+	exchanges      []Exchange // captured only when Config.Observer != nil
 	done           chan struct{}
 }
 
@@ -381,6 +411,17 @@ func (c *Crawler) Crawl(ctx context.Context, at time.Time, targets []netip.AddrP
 			if c.cfg.Index != nil {
 				snap.ConnectedIDs = append(snap.ConnectedIDs, global.resolve(rep.Addr))
 			}
+			if c.cfg.Observer != nil {
+				// Deliver from the merge goroutine, never from workers:
+				// the observer stream inherits the merge order and needs
+				// no synchronization of its own.
+				srcID := global.resolve(rep.Addr)
+				for _, ex := range jobs[i].exchanges {
+					ex.At = at
+					ex.SourceID = srcID
+					c.cfg.Observer(ex)
+				}
+			}
 			for k, a := range jobs[i].unreachable {
 				id := jobs[i].unreachableIDs[k]
 				if !global.add(a, id) {
@@ -434,6 +475,16 @@ func (c *Crawler) drainNode(sess Session, known *knownView, seen *memberSet, job
 		}
 		report.Rounds++
 		c.mRounds.Inc()
+		if c.cfg.Observer != nil {
+			// Copy: the session may reuse its response buffer.
+			captured := make([]wire.NetAddress, len(addrs))
+			copy(captured, addrs)
+			job.exchanges = append(job.exchanges, Exchange{
+				Source: report.Addr,
+				Round:  round,
+				Addrs:  captured,
+			})
+		}
 		fresh := 0
 		for _, na := range addrs {
 			id := seen.resolve(na.Addr)
@@ -464,6 +515,19 @@ func (c *Crawler) drainNode(sess Session, known *knownView, seen *memberSet, job
 	}
 }
 
+// ProbeObservation is one scanner probe outcome as seen by a scan
+// observer. Failed probes carry Err = true and a zero Outcome.
+type ProbeObservation struct {
+	// At is the scan's nominal time.
+	At time.Time
+	// Addr is the probed address.
+	Addr netip.AddrPort
+	// Outcome is the probe classification (zero when Err).
+	Outcome ProbeOutcome
+	// Err reports a probe that failed outright.
+	Err bool
+}
+
 // ScanConfig bounds scanner behaviour.
 type ScanConfig struct {
 	// Workers is the probe fan-out width; zero or negative means
@@ -472,6 +536,10 @@ type ScanConfig struct {
 	Workers int
 	// Metrics, when set, receives the crawl.probe.errors counter.
 	Metrics *obs.Registry
+	// Observer, when set, receives every probe outcome in target order
+	// from the merge fold — the same determinism contract as
+	// Config.Observer on the crawl side.
+	Observer func(ProbeObservation)
 }
 
 // ScanResult is the outcome of one Algorithm 2 scan.
@@ -523,6 +591,9 @@ func ScanWith(ctx context.Context, cfg ScanConfig, at time.Time, prober Prober,
 	}
 	for i, a := range addrs {
 		res.Probed++
+		if cfg.Observer != nil {
+			cfg.Observer(ProbeObservation{At: at, Addr: a, Outcome: outcomes[i], Err: failed[i]})
+		}
 		if failed[i] {
 			res.ProbeErrors++
 			continue

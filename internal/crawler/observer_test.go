@@ -1,0 +1,152 @@
+package crawler
+
+import (
+	"context"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/addridx"
+	"repro/internal/wire"
+)
+
+func TestCrawlObserverOrdering(t *testing.T) {
+	// Exchanges arrive in target order, round order within a target, with
+	// raw (undeduplicated) responses and the crawl time stamped on.
+	t1, t2 := tAddr(1), tAddr(2)
+	books := map[netip.AddrPort][]wire.NetAddress{
+		t1: {na(t1), na(tAddr(101)), na(tAddr(102)), na(tAddr(103))},
+		t2: {na(t2), na(tAddr(104))},
+	}
+	at := time.Unix(1586000000, 0)
+	var got []Exchange
+	c := New(Config{Observer: func(ex Exchange) { got = append(got, ex) }},
+		&fakeDialer{books: books})
+	if _, err := c.Crawl(context.Background(), at, []netip.AddrPort{t1, t2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no exchanges observed")
+	}
+	lastSource, lastRound := netip.AddrPort{}, -1
+	seenT1 := false
+	for _, ex := range got {
+		if !ex.At.Equal(at) {
+			t.Errorf("exchange At = %v, want %v", ex.At, at)
+		}
+		if ex.SourceID != addridx.None {
+			t.Errorf("SourceID = %v without an Index, want None", ex.SourceID)
+		}
+		if ex.Source == lastSource {
+			if ex.Round != lastRound+1 {
+				t.Errorf("rounds not consecutive for %v: %d after %d", ex.Source, ex.Round, lastRound)
+			}
+		} else {
+			if ex.Round != 0 {
+				t.Errorf("first round for %v = %d, want 0", ex.Source, ex.Round)
+			}
+			if ex.Source == t1 {
+				seenT1 = true
+			}
+			if ex.Source == t2 && !seenT1 {
+				t.Error("t2 exchanges delivered before t1: not target order")
+			}
+		}
+		lastSource, lastRound = ex.Source, ex.Round
+	}
+	// The final exchange per target is the repeat page that terminated
+	// Algorithm 1 — observers must see it (drain detection depends on it).
+	var t1Total int
+	for _, ex := range got {
+		if ex.Source == t1 {
+			t1Total += len(ex.Addrs)
+		}
+	}
+	if t1Total <= len(books[t1]) {
+		t.Errorf("t1 announcements = %d, want > %d (repeat page included)", t1Total, len(books[t1]))
+	}
+}
+
+func TestCrawlObserverWorkerCountInvariance(t *testing.T) {
+	// The observer stream is delivered from the in-order merge loop, so
+	// it must be identical at any fan-out width — and attaching it must
+	// not perturb the snapshot.
+	u := smallUniverse(t)
+	at := u.Params.Epoch.Add(10 * 24 * time.Hour)
+	seedView := u.SeedViewAt(at)
+	targets := TargetsOf(seedView)
+	known := ReachableReference(seedView)
+
+	crawlWith := func(workers int, obsr Observer) *Snapshot {
+		view := NewUniverseView(u, at)
+		c := New(Config{Workers: workers, Index: u.Index, Observer: obsr}, view)
+		snap, err := c.Crawl(context.Background(), at, targets, known)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+
+	var seqEx, parEx []Exchange
+	seqSnap := crawlWith(1, func(ex Exchange) { seqEx = append(seqEx, ex) })
+	parSnap := crawlWith(4, func(ex Exchange) { parEx = append(parEx, ex) })
+	if len(seqEx) == 0 {
+		t.Fatal("no exchanges observed")
+	}
+	if !reflect.DeepEqual(seqEx, parEx) {
+		t.Errorf("observer streams differ between workers=1 and workers=4: %d vs %d exchanges",
+			len(seqEx), len(parEx))
+	}
+	bare := crawlWith(4, nil)
+	if !reflect.DeepEqual(seqSnap, parSnap) || !reflect.DeepEqual(parSnap, bare) {
+		t.Error("attaching an observer perturbed the snapshot")
+	}
+	// SourceIDs must be resolved against the index for popsim targets.
+	for _, ex := range seqEx {
+		if ex.SourceID == addridx.None {
+			t.Fatalf("unresolved SourceID for %v with Index set", ex.Source)
+		}
+	}
+}
+
+func TestScanObserver(t *testing.T) {
+	// Probe observations arrive in target order with failures flagged.
+	p := &flakyProber{
+		fail:     map[netip.AddrPort]bool{tAddr(2): true},
+		outcomes: map[netip.AddrPort]ProbeOutcome{tAddr(1): ProbeResponsive},
+	}
+	at := time.Unix(0, 0)
+	targets := []netip.AddrPort{tAddr(1), tAddr(2), tAddr(3)}
+	var got []ProbeObservation
+	_, err := ScanWith(context.Background(),
+		ScanConfig{Workers: 2, Observer: func(po ProbeObservation) { got = append(got, po) }},
+		at, p, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ProbeObservation{
+		{At: at, Addr: tAddr(1), Outcome: ProbeResponsive},
+		{At: at, Addr: tAddr(2), Err: true},
+		{At: at, Addr: tAddr(3), Outcome: ProbeSilent},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("observations = %+v, want %+v", got, want)
+	}
+}
+
+func TestAddrCompositionEmpty(t *testing.T) {
+	// Zero-observation composition must be 0/0, not NaN — an empty
+	// snapshot's shares feed straight into CSVs.
+	empty := &Snapshot{Reports: map[netip.AddrPort]*NodeReport{}}
+	r, u := empty.AddrComposition()
+	if r != 0 || u != 0 {
+		t.Errorf("empty composition = %v/%v, want 0/0", r, u)
+	}
+	// Same with a report present but nothing collected.
+	empty.Reports[tAddr(1)] = &NodeReport{Addr: tAddr(1), Connected: true}
+	r, u = empty.AddrComposition()
+	if r != 0 || u != 0 {
+		t.Errorf("zero-sent composition = %v/%v, want 0/0", r, u)
+	}
+}

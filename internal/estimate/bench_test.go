@@ -1,0 +1,43 @@
+package estimate
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// BenchmarkEstimateUpdate measures the per-exchange ingestion cost on
+// the crawl hot path: one 100-address ADDR response through the full
+// Collector (population dedup + filter, degree enumeration). This is
+// the marginal cost an attached observer adds per GETADDR round, so it
+// is baselined in BENCH_baseline.json — the seam must not silently
+// regress BenchmarkCrawlSnapshot.
+func BenchmarkEstimateUpdate(b *testing.B) {
+	const sources = 64
+	const perPage = 100
+	reach := make(map[netip.AddrPort]struct{})
+	pages := make([][]wire.NetAddress, sources)
+	for s := range pages {
+		page := make([]wire.NetAddress, perPage)
+		for i := range page {
+			a := eAddr(1000 + (s*61+i*17)%4096)
+			page[i] = wire.NetAddress{Addr: a}
+			if i%7 == 0 {
+				reach[a] = struct{}{}
+			}
+		}
+		pages[s] = page
+	}
+	c := NewCollector(Config{
+		IsReachable: func(a netip.AddrPort) bool { _, ok := reach[a]; return ok },
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Exchange(eAddr(i%sources), pages[i%sources])
+	}
+	sinkPop = c.PopulationEstimate()
+}
+
+var sinkPop float64

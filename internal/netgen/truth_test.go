@@ -1,0 +1,90 @@
+package netgen
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func TestUnreachableCensusAt(t *testing.T) {
+	u, err := Generate(DefaultParams(11, 0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := u.Params.Epoch.Add(10 * 24 * time.Hour)
+	visible, responsive, silent := u.UnreachableCensusAt(at)
+	if visible != responsive+silent {
+		t.Errorf("census split %d+%d != visible %d", responsive, silent, visible)
+	}
+	if got := len(u.VisibleUnreachable(at)); got != visible {
+		t.Errorf("census visible = %d, VisibleUnreachable = %d", visible, got)
+	}
+	if visible == 0 || responsive == 0 || silent == 0 {
+		t.Errorf("degenerate census %d/%d/%d at mid-horizon", visible, responsive, silent)
+	}
+	// Past the horizon plus the TTL everything has expired.
+	far := u.End().Add(10 * u.Params.UnreachableTTL)
+	if v, _, _ := u.UnreachableCensusAt(far); v != 0 {
+		t.Errorf("census after expiry = %d, want 0", v)
+	}
+}
+
+func TestTrueDegreeMatchesBookDistinct(t *testing.T) {
+	u, err := Generate(DefaultParams(11, 0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := u.Params.Epoch.Add(10 * 24 * time.Hour)
+	online := u.OnlineReachable(at)
+	visible := u.VisibleUnreachable(at)
+	checked := 0
+	for _, s := range u.Reachable {
+		if !s.OnlineAt(at) {
+			continue
+		}
+		deg := u.TrueDegreeFrom(s, at, online, visible)
+		if deg != u.TrueDegree(s, at) {
+			t.Fatalf("TrueDegreeFrom %d != TrueDegree %d for %v", deg,
+				u.TrueDegree(s, at), s.Addr)
+		}
+		book := u.AddrBookFrom(s, at, online, visible)
+		distinct := make(map[netip.AddrPort]struct{})
+		for _, na := range book {
+			distinct[na.Addr] = struct{}{}
+		}
+		if deg != len(distinct) {
+			t.Fatalf("TrueDegree = %d, book distinct = %d for %v", deg, len(distinct), s.Addr)
+		}
+		if deg > len(book) {
+			t.Fatalf("TrueDegree %d exceeds book length %d", deg, len(book))
+		}
+		// Books sample with replacement, so repeats are expected at sim
+		// scales: distinct must be a strict undercount somewhere.
+		checked++
+		if checked >= 25 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no online reachable stations to check")
+	}
+}
+
+func TestTrueDegreeDeterministic(t *testing.T) {
+	// The truth must be a pure function of (Params, t) — two universes
+	// from the same params agree station by station.
+	a, err := Generate(DefaultParams(13, 0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultParams(13, 0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := a.Params.Epoch.Add(5 * 24 * time.Hour)
+	for i, s := range a.Reachable[:10] {
+		if got, want := a.TrueDegree(s, at), b.TrueDegree(b.Reachable[i], at); got != want {
+			t.Fatalf("station %d degree %d != %d across identical universes", i, got, want)
+		}
+	}
+}

@@ -65,6 +65,21 @@ hit=$(curl -fsS -D - -X POST "$base/run" -d "$SPEC" -o /dev/null |
   tr -d '\r' | awk 'tolower($1) == "x-reprod-cache:" {print $2}')
 [ "$hit" = "hit" ] || { echo "X-Reprod-Cache = '$hit', want hit"; exit 1; }
 
+echo "--- estimator sweep: singleflight + cache"
+EST_SPEC='{"id":"fig_est_pop","quick":true,"seed":7}'
+curl -fsS -X POST "$base/run" -d "$EST_SPEC" -o "$tmp/ea.txt" &
+ea=$!
+curl -fsS -X POST "$base/run" -d "$EST_SPEC" -o "$tmp/eb.txt" &
+eb=$!
+wait "$ea" "$eb"
+cmp "$tmp/ea.txt" "$tmp/eb.txt" || { echo "concurrent fig_est responses differ"; exit 1; }
+executed=$(curl -fsS "$base/metrics" | awk '$1 == "reprod_runs_executed" {print $2}')
+[ "$executed" = "2" ] || { echo "reprod_runs_executed = $executed, want 2 (fig7 + one fig_est)"; exit 1; }
+hit=$(curl -fsS -D - -X POST "$base/run" -d "$EST_SPEC" -o /dev/null |
+  tr -d '\r' | awk 'tolower($1) == "x-reprod-cache:" {print $2}')
+[ "$hit" = "hit" ] || { echo "fig_est X-Reprod-Cache = '$hit', want hit"; exit 1; }
+echo "one fig_est execution, byte-identical responses, repeat is a cache hit"
+
 echo "--- graceful drain on SIGTERM"
 kill -TERM "$pid"
 drained=1
