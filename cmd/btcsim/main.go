@@ -4,13 +4,16 @@
 // Usage:
 //
 //	btcsim [-nodes 120] [-hours 4] [-churn 1.5] [-policy round-robin]
-//	       [-txs 100] [-compact] [-seed 1] [-runs 1] [-workers 0]
-//	       [-trace-out trace.ndjson]
+//	       [-policies tried-only-addr+horizon-17d] [-txs 100] [-compact]
+//	       [-seed 1] [-runs 1] [-workers 0] [-trace-out trace.ndjson]
 //	       [-pprof] [-pprof-addr 127.0.0.1:6060]
 //
 // The relay policy is one of round-robin (Bitcoin Core's behaviour),
-// broadcast (the theoretical ideal), or priority (the paper's §V
-// refinement). With -runs N the simulation is replicated on paired
+// broadcast (the theoretical ideal), or priority-outbound (the paper's
+// §V refinement; "priority" is accepted as an alias). -policies applies
+// a composable intervention policy set (node.ParsePolicySet syntax) on
+// top: addressing, relay, and peering interventions in one encoding.
+// With -runs N the simulation is replicated on paired
 // seeds across -workers goroutines; per-run summaries print in run
 // order regardless of completion order, and Ctrl-C cancels mid-run.
 // -trace-out streams every propagation-span trace event (deliveries
@@ -49,7 +52,8 @@ func run() error {
 		nodes     = flag.Int("nodes", 120, "reachable full nodes")
 		hours     = flag.Float64("hours", 4, "measured virtual hours")
 		churn     = flag.Float64("churn", 1.5, "node departures per 10 virtual minutes")
-		policy    = flag.String("policy", "round-robin", "relay policy: round-robin | broadcast | priority")
+		policy    = flag.String("policy", "round-robin", "relay policy: round-robin | broadcast | priority-outbound (alias: priority)")
+		policies  = flag.String("policies", "", "intervention policy set applied to every node (e.g. \"tried-only-addr+horizon-17d\"; \"stock\" = none)")
 		txs       = flag.Int("txs", 100, "background transactions per block interval")
 		compact   = flag.Bool("compact", false, "use BIP-152 compact block relay")
 		seed      = flag.Int64("seed", 1, "random seed")
@@ -78,16 +82,16 @@ func run() error {
 		fmt.Printf("pprof listening on http://%s/debug/pprof/ (metrics at /metrics)\n", srv.Addr)
 	}
 
-	var relay node.RelayPolicy
-	switch *policy {
-	case "round-robin":
-		relay = node.RoundRobin
-	case "broadcast":
-		relay = node.Broadcast
-	case "priority":
-		relay = node.PriorityOutbound
-	default:
-		return fmt.Errorf("unknown relay policy %q", *policy)
+	relay, err := node.ParseRelayPolicy(*policy)
+	if err != nil {
+		return err
+	}
+	var policySet node.PolicySet
+	if *policies != "" {
+		policySet, err = node.ParsePolicySet(*policies)
+		if err != nil {
+			return err
+		}
 	}
 
 	base := analysis.PropagationConfig{
@@ -96,6 +100,7 @@ func run() error {
 		Duration:                time.Duration(*hours * float64(time.Hour)),
 		TxPerBlock:              *txs,
 		RelayPolicy:             relay,
+		Policies:                policySet,
 		CompactBlocks:           *compact,
 		ChurnDeparturesPer10Min: *churn,
 		Metrics:                 liveReg,
@@ -139,7 +144,7 @@ func run() error {
 	}
 	start := time.Now()
 	bufs := make([]bytes.Buffer, *runs)
-	err := par.ForEach(ctx, *workers, *runs, func(ctx context.Context, i int) error {
+	err = par.ForEach(ctx, *workers, *runs, func(ctx context.Context, i int) error {
 		cfg := base
 		cfg.Seed = base.Seed + int64(i)*7919
 		res, err := analysis.RunPropagation(ctx, cfg)

@@ -35,6 +35,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/netgen"
+	"repro/internal/node"
 )
 
 func main() {
@@ -55,17 +56,29 @@ func run() error {
 		quick   = flag.Bool("quick", false, "reduced sizes for a fast smoke run")
 		csvDir  = flag.String("csv", "", "also write series CSVs into this directory")
 		render  = flag.String("render", "", "render an ASCII artifact (currently: fig12)")
-		report  = flag.String("report", "", "write a self-contained HTML report (metrics + series sparklines) to this path")
-		workers = flag.Int("workers", 0, "experiment worker goroutines (0 = GOMAXPROCS)")
+		report   = flag.String("report", "", "write a self-contained HTML report (metrics + series sparklines) to this path")
+		workers  = flag.Int("workers", 0, "experiment worker goroutines (0 = GOMAXPROCS)")
+		policies = flag.String("policies", "", "intervention policy set for fig_interv (e.g. \"tried-only-addr+horizon-17d\"; empty = full policy axis)")
 	)
 	flag.Parse()
 
+	// Canonicalize -policies up front so a typo fails before any
+	// experiment runs and the Options carry the stable encoding.
+	if *policies != "" {
+		set, err := node.ParsePolicySet(*policies)
+		if err != nil {
+			return err
+		}
+		*policies = set.String()
+	}
+
 	opts := core.Options{
-		Seed:    *seed,
-		Scale:   *scale,
-		NetSize: *netSize,
-		Quick:   *quick,
-		Workers: *workers,
+		Seed:     *seed,
+		Scale:    *scale,
+		NetSize:  *netSize,
+		Quick:    *quick,
+		Workers:  *workers,
+		Policies: *policies,
 	}
 
 	// Ctrl-C cancels the context; the simulations poll it and stop

@@ -20,10 +20,17 @@ import (
 type AblationVariant struct {
 	// Name labels the variant.
 	Name string
-	// RelayPolicy, TriedOnlyGetAddr, and AddrHorizon are the §V toggles.
+	// RelayPolicy, TriedOnlyGetAddr, and AddrHorizon are the §V toggles
+	// in their legacy spelling. StockVariants keeps using them so the
+	// canonical ladder's output stays byte-identical across the policy
+	// API introduction.
 	RelayPolicy      node.RelayPolicy
 	TriedOnlyGetAddr bool
 	AddrHorizon      time.Duration
+	// Policies optionally expresses the variant as a policy set instead
+	// of (or on top of) the legacy toggles; node.Config folds it over
+	// them, policies winning.
+	Policies node.PolicySet
 }
 
 // StockVariants returns the canonical ablation ladder: stock Bitcoin
@@ -82,6 +89,7 @@ func RunAblation(ctx context.Context, base PropagationConfig, variants []Ablatio
 		cfg.RelayPolicy = v.RelayPolicy
 		cfg.TriedOnlyGetAddr = v.TriedOnlyGetAddr
 		cfg.AddrHorizon = v.AddrHorizon
+		cfg.Policies = v.Policies
 		out, err := RunPropagation(ctx, cfg)
 		if err != nil {
 			return fmt.Errorf("analysis: ablation %q: %w", v.Name, err)
@@ -94,6 +102,7 @@ func RunAblation(ctx context.Context, base PropagationConfig, variants []Ablatio
 			ConnDropEvery:     40 * time.Second,
 			TriedOnlyGetAddr:  v.TriedOnlyGetAddr,
 			AddrHorizon:       v.AddrHorizon,
+			Policies:          v.Policies,
 			Runs:              3,
 		})
 		if err != nil {

@@ -58,6 +58,10 @@ type ConnExperimentConfig struct {
 	// ablation can measure their effect on cold-start success.
 	TriedOnlyGetAddr bool
 	AddrHorizon      time.Duration
+	// Policies is the intervention policy set applied to every node
+	// (background peers and observer). Policies fold over the legacy
+	// knobs above; empty means stock behaviour.
+	Policies node.PolicySet
 	// StaleTried seeds the observer's tried table with this many dead
 	// addresses before measurement, modelling a restarting node whose
 	// persisted peers.dat references long-departed peers — without it
@@ -163,6 +167,7 @@ func RunConnExperiment(ctx context.Context, cfg ConnExperimentConfig) (*ConnExpe
 				Genesis:          genesis,
 				TriedOnlyGetAddr: cfg.TriedOnlyGetAddr,
 				AddrHorizon:      cfg.AddrHorizon,
+				Policies:         cfg.Policies,
 				SeedAddrs:        seedSample(rng, live, dead, 150, cfg.LiveShare, live[i], net.Now()),
 			})
 			h.Start()
@@ -197,6 +202,7 @@ func RunConnExperiment(ctx context.Context, cfg ConnExperimentConfig) (*ConnExpe
 			Genesis:          genesis,
 			TriedOnlyGetAddr: cfg.TriedOnlyGetAddr,
 			AddrHorizon:      cfg.AddrHorizon,
+			Policies:         cfg.Policies,
 			SeedAddrs: seedSample(rng, live, dead, cfg.SeedsPerNode, cfg.LiveShare,
 				observerAddr, net.Now()),
 		})

@@ -44,11 +44,30 @@ type PropagationConfig struct {
 	// block interval (they fill the round-robin queues).
 	TxPerBlock int
 	// RelayPolicy, CompactBlocks, TriedOnlyGetAddr, and AddrHorizon are
-	// forwarded to every node (the §IV-C/§V toggles).
+	// forwarded to every node (the §IV-C/§V toggles). RelayPolicy,
+	// TriedOnlyGetAddr, and AddrHorizon are the legacy spellings of what
+	// Policies expresses compositionally; node.Config folds Policies over
+	// them (policies win).
 	RelayPolicy      node.RelayPolicy
 	CompactBlocks    bool
 	TriedOnlyGetAddr bool
 	AddrHorizon      time.Duration
+	// Policies is the intervention policy set forwarded to every node
+	// (reachable and unreachable alike). Empty means stock behaviour.
+	Policies node.PolicySet
+	// UnreachableShare adds round(share·NumReachable) unreachable (NATed)
+	// full nodes to the network. They dial out and participate in relay
+	// but refuse inbound connections, reproducing the §IV population mix;
+	// the unreachable-tx-relay policy changes whether they forward
+	// third-party transactions. 0 keeps the legacy reachable-only
+	// network, byte-identical to pre-policy runs.
+	UnreachableShare float64
+	// ObserverAddrSink receives every multi-address ADDR payload the
+	// observer node ingests (GETADDR response chunks; single-address
+	// self-advertisements are filtered at the node). It feeds the
+	// Grundmann estimators in the intervention grid. When set, the result
+	// also carries AddrManSizes as degree ground truth.
+	ObserverAddrSink func(from netip.AddrPort, addrs []wire.NetAddress)
 	// CompactShare is the fraction of nodes that negotiate BIP-152
 	// compact relay when CompactBlocks is set (default 1.0). The 2020
 	// network mixed compact and legacy peers; a legacy peer receives the
@@ -123,9 +142,8 @@ func (c PropagationConfig) withDefaults() PropagationConfig {
 	if c.BlockInterval == 0 {
 		c.BlockInterval = 10 * time.Minute
 	}
-	if c.RelayPolicy == 0 {
-		c.RelayPolicy = node.RoundRobin
-	}
+	// RelayPolicy deliberately not normalized here: node.Config.withDefaults
+	// is the single place RelayPolicy(0) becomes RoundRobin.
 	if c.RejoinAfter == 0 {
 		c.RejoinAfter = 30 * time.Minute
 	}
@@ -188,6 +206,14 @@ type PropagationResult struct {
 	ObserverSuccesses int
 	// BlocksMined counts produced blocks.
 	BlocksMined int
+	// NumUnreachable is the number of unreachable nodes the run added
+	// (round(UnreachableShare·NumReachable)).
+	NumUnreachable int
+	// AddrManSizes maps each host (reachable and unreachable) that was
+	// online at run end to its address-manager size — the degree ground
+	// truth for the Grundmann estimator. Populated only when
+	// ObserverAddrSink is set.
+	AddrManSizes map[netip.AddrPort]int
 	// MeanOutdegree is the average outbound connection count across
 	// online nodes, sampled per block.
 	MeanOutdegree float64
@@ -322,6 +348,7 @@ func RunPropagation(ctx context.Context, cfg PropagationConfig) (*PropagationRes
 			CompactBlocks:    compact,
 			TriedOnlyGetAddr: cfg.TriedOnlyGetAddr,
 			AddrHorizon:      cfg.AddrHorizon,
+			Policies:         cfg.Policies,
 			BlockSizeHint:    cfg.BlockSizeHint,
 			BytesPerSec:      cfg.BytesPerSec,
 			AddrManKey:       uint64(cfg.Seed) + uint64(i),
@@ -329,10 +356,50 @@ func RunPropagation(ctx context.Context, cfg PropagationConfig) (*PropagationRes
 			Metrics:          reg,
 			Tracer:           tracer,
 		}
+		if i == 0 {
+			cfgNode.AddrSink = cfg.ObserverAddrSink
+		}
 		hosts[i] = net.AddFullNode(cfgNode)
 	}
 	for _, h := range hosts {
 		h.Start()
+	}
+
+	// Unreachable (NATed) population: dial-out-only full nodes whose
+	// addresses never work for inbound connections. Every rng draw here
+	// is gated on numUnreach > 0 so that share-0 runs keep the legacy
+	// draw order and stay byte-identical. Unreachable hosts are excluded
+	// from the monitor, the churn driver, the sync denominator, and the
+	// tx driver — they shape the relay fabric (and, under
+	// unreachable-tx-relay, extend it) without being measured nodes.
+	numUnreach := int(cfg.UnreachableShare*float64(cfg.NumReachable) + 0.5)
+	res.NumUnreachable = numUnreach
+	unreach := make([]*simnet.Host, 0, numUnreach)
+	if numUnreach > 0 {
+		for i := 0; i < numUnreach; i++ {
+			a := netip.AddrPortFrom(
+				netip.AddrFrom4([4]byte{11, byte(i >> 16), byte(i >> 8), byte(i)}), 8333)
+			cfgNode := node.Config{
+				Self:             wire.NetAddress{Addr: a, Services: wire.SFNodeNetwork},
+				Reachable:        false,
+				Genesis:          genesis,
+				SeedAddrs:        seedFor(a),
+				RelayPolicy:      cfg.RelayPolicy,
+				CompactBlocks:    cfg.CompactBlocks,
+				TriedOnlyGetAddr: cfg.TriedOnlyGetAddr,
+				AddrHorizon:      cfg.AddrHorizon,
+				Policies:         cfg.Policies,
+				BlockSizeHint:    cfg.BlockSizeHint,
+				BytesPerSec:      cfg.BytesPerSec,
+				AddrManKey:       uint64(cfg.Seed) + uint64(cfg.NumReachable+i),
+				Sink:             sink,
+				Metrics:          reg,
+				Tracer:           tracer,
+			}
+			h := net.AddFullNode(cfgNode)
+			unreach = append(unreach, h)
+			h.Start()
+		}
 	}
 
 	// Bitnodes-style monitor: each host is revisited on its own cadence
@@ -548,6 +615,22 @@ func RunPropagation(ctx context.Context, cfg PropagationConfig) (*PropagationRes
 		return nil, err
 	}
 	measuring = false
+
+	// Degree ground truth for the Grundmann estimator: the final addrman
+	// size of every host still online.
+	if cfg.ObserverAddrSink != nil {
+		res.AddrManSizes = make(map[netip.AddrPort]int, len(hosts)+len(unreach))
+		for _, h := range hosts {
+			if n := h.Node(); n != nil {
+				res.AddrManSizes[h.Addr()] = n.AddrMan().Size()
+			}
+		}
+		for _, h := range unreach {
+			if n := h.Node(); n != nil {
+				res.AddrManSizes[h.Addr()] = n.AddrMan().Size()
+			}
+		}
+	}
 
 	// Derive the relay observations from the propagation tree: the
 	// per-(node, object) last-delay/fanout aggregates are keyed by the

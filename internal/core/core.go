@@ -31,6 +31,12 @@ type Options struct {
 	// scan loops (0 = GOMAXPROCS). Results are identical at any width,
 	// so it is not part of any result cache key.
 	Workers int
+	// Policies optionally restricts the intervention-grid experiment
+	// (fig_interv) to stock versus this policy set (a canonical
+	// node.ParsePolicySet encoding, e.g. "tried-only-addr+horizon-17d").
+	// Empty runs the full policy axis. Unlike Workers it changes
+	// results, so it participates in result cache keys.
+	Policies string
 }
 
 // withDefaults fills the zero Options.
@@ -237,6 +243,7 @@ func registry() []Experiment {
 		resyncExperiment(),
 		syncDepExperiment(),
 		ablationExperiment(),
+		figIntervExperiment(),
 		hijackExperiment(),
 		chaosExperiment(),
 	}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/node"
+)
+
+// This file implements the intervention grid experiment (fig_interv):
+// the §V refinements and two related-work remedies as composable
+// node.PolicySet values, swept against the paper's 2019/2020 churn
+// regimes and an unreachable-population mix, with the Grundmann
+// estimators scored inside every cell. It is the policy-API successor
+// to the fixed six-row ablation ladder.
+
+// figIntervExperiment builds the fig_interv registry entry.
+func figIntervExperiment() Experiment {
+	return Experiment{
+		ID:      "fig_interv",
+		Title:   "Intervention grid: policy set × churn regime × population mix",
+		Section: "§V",
+		Run: func(ctx context.Context, opts Options) (*Report, error) {
+			opts = opts.withDefaults()
+			base := analysis.PropagationConfig{
+				Seed:          opts.Seed,
+				NumReachable:  opts.NetSize,
+				Duration:      2 * time.Hour,
+				TxPerBlock:    150,
+				CompactBlocks: true,
+				BytesPerSec:   200 << 10,
+			}
+			coldRuns := 2
+			if opts.Quick {
+				base.Duration = 20 * time.Minute
+				base.Warmup = 6 * time.Minute
+				base.TxPerBlock = 60
+				coldRuns = 1
+			}
+			gcfg := analysis.InterventionGridConfig{
+				Base: base,
+				Churns: []analysis.IntervChurn{
+					{Name: "2019", DeparturesPer10Min: churnScaled(opts.NetSize, 0.9)},
+					{Name: "2020", DeparturesPer10Min: churnScaled(opts.NetSize, 3.0)},
+				},
+				UnreachableShares: []float64{0, 0.3},
+				ColdStartRuns:     coldRuns,
+				Workers:           opts.Workers,
+			}
+			if opts.Policies != "" {
+				// Restricted grid: stock versus the requested set, both
+				// churn regimes, both population mixes.
+				set, err := node.ParsePolicySet(opts.Policies)
+				if err != nil {
+					return nil, fmt.Errorf("core: fig_interv: %w", err)
+				}
+				gcfg.PolicySets = []node.PolicySet{
+					node.MustPolicySet(node.StockPolicyName),
+				}
+				if set.String() != node.StockPolicyName {
+					gcfg.PolicySets = append(gcfg.PolicySets, set)
+				}
+			}
+			res, err := analysis.RunInterventionGrid(ctx, gcfg)
+			if err != nil {
+				return nil, err
+			}
+
+			rep := &Report{ID: "fig_interv", Title: "Intervention grid", Series: res.Series}
+			t := Table{
+				Name: "grid",
+				Header: []string{"policy-set", "churn", "unreach-share", "sync",
+					"observed-sync", "dial-success", "cold-start-success",
+					"mean-block-relay", "max-block-relay", "outdegree",
+					"pop-relerr", "deg-relerr"},
+			}
+			// byCell indexes rows for the headline recovery contrasts.
+			type cellKey struct {
+				set, churn string
+				share      float64
+			}
+			byCell := make(map[cellKey]analysis.IntervCell, len(res.Cells))
+			for _, c := range res.Cells {
+				byCell[cellKey{c.PolicySet, c.Churn, c.UnreachableShare}] = c
+				t.Rows = append(t.Rows, []string{
+					c.PolicySet,
+					c.Churn,
+					fmt.Sprintf("%.0f%%", 100*c.UnreachableShare),
+					fmt.Sprintf("%.1f%%", 100*c.MeanSync),
+					fmt.Sprintf("%.1f%%", 100*c.MeanObservedSync),
+					fmt.Sprintf("%.1f%%", 100*c.DialSuccessRate),
+					fmt.Sprintf("%.1f%%", 100*c.ColdStartSuccessRate),
+					fmt.Sprintf("%.2fs", c.MeanBlockRelay.Seconds()),
+					fmt.Sprintf("%.2fs", c.MaxBlockRelay.Seconds()),
+					fmt.Sprintf("%.2f", c.MeanOutdegree),
+					fmt.Sprintf("%.3f", c.PopRelErr),
+					fmt.Sprintf("%.3f", c.DegRelErr),
+				})
+			}
+			rep.Tables = append(rep.Tables, t)
+
+			// Headline: the 2020-regime recovery of the combined §V set
+			// over stock, on the reachable-only mix (the Figure 1 setting).
+			const allV = "tried-only-addr+horizon-17d+priority-relay"
+			stock2020 := byCell[cellKey{node.StockPolicyName, "2020", 0}]
+			rep.AddMetricf("stock observed sync (2020 churn)",
+				100*stock2020.MeanObservedSync, "%.1f%%", "≈90%")
+			if all, ok := byCell[cellKey{allV, "2020", 0}]; ok {
+				rep.AddMetricf("all-§V observed sync (2020 churn)",
+					100*all.MeanObservedSync, "%.1f%%", "")
+				rep.AddMetricf("all-§V sync recovery (pts)",
+					100*(all.MeanObservedSync-stock2020.MeanObservedSync), "%+.1f", "")
+				rep.AddMetricf("all-§V cold-start recovery (pts)",
+					100*(all.ColdStartSuccessRate-stock2020.ColdStartSuccessRate), "%+.1f", "")
+			}
+			rep.Notes = append(rep.Notes,
+				"every (churn, mix) environment reuses one seed across policy sets (common random numbers): recovery columns are paired contrasts",
+				"tried-only-addr starves the Grundmann population estimator (ADDR responses stop carrying unreachable addresses), so pop-relerr ≈ 1 in those cells is the measurement side effect, not an estimator bug")
+			return rep, nil
+		},
+	}
+}

@@ -31,6 +31,38 @@ func BenchmarkPumpThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkPolicyDispatch measures the relay hot path with an empty
+// policy set: Config.Policies is compiled once in New, so a node with no
+// policies must pay nothing per message over the pre-policy baseline.
+// Each iteration submits a fresh local transaction and drains the INV
+// fan-out to 8 handshook peers.
+func BenchmarkPolicyDispatch(b *testing.B) {
+	env := newFakeEnv()
+	cfg := testConfig(mkAddr(10, 0, 0, 1))
+	cfg.Policies = PolicySet{} // "stock": hot paths must be policy-free
+	n := New(cfg, env)
+	n.Start()
+	for i := 0; i < 8; i++ {
+		conn := ConnID(i + 1)
+		if !n.OnInbound(mkAddr(10, 0, 1, byte(i+1)), conn) {
+			b.Fatal("inbound refused")
+		}
+		n.OnMessage(conn, &wire.MsgVersion{Timestamp: env.Now()})
+		n.OnMessage(conn, &wire.MsgVerAck{})
+	}
+	env.run(time.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.SubmitTx(&wire.MsgTx{
+			Version: 2,
+			TxIn:    []wire.TxIn{{Sequence: uint32(i)}},
+			TxOut:   []wire.TxOut{{Value: int64(i) + 1, PkScript: []byte{0x51}}},
+		})
+		env.run(10 * time.Millisecond)
+	}
+}
+
 // BenchmarkHandleAddr measures ADDR ingestion into addrman.
 func BenchmarkHandleAddr(b *testing.B) {
 	env := newFakeEnv()

@@ -104,6 +104,9 @@ func (n *Node) maybeCompleteHandshake(p *Peer) {
 		return
 	case Outbound:
 		n.addrman.Good(p.addr)
+		if n.pol.anchorsEnabled {
+			n.noteAnchor(p.addr)
+		}
 		if !p.getAddrSent {
 			p.getAddrSent = true
 			n.queueMsg(p, &wire.MsgGetAddr{}, classAddr)
@@ -183,6 +186,12 @@ func (n *Node) handleAddr(p *Peer, m *wire.MsgAddr) {
 		Type: EvAddrReceived, Time: n.env.Now(), Node: n.cfg.Self.Addr,
 		Peer: p.addr, Count: len(m.AddrList),
 	})
+	// Measurement seam: multi-address payloads are GETADDR response
+	// chunks (self-advertisements carry exactly one address), the
+	// exchange shape the Grundmann estimators consume.
+	if n.cfg.AddrSink != nil && len(m.AddrList) > 1 {
+		n.cfg.AddrSink(p.addr, m.AddrList)
+	}
 	n.addrman.Add(m.AddrList, p.addr.Addr())
 }
 
@@ -275,7 +284,13 @@ func (n *Node) handleTx(p *Peer, m *wire.MsgTx) {
 		Type: EvTxReceived, Time: now, Node: n.cfg.Self.Addr,
 		Peer: p.addr, Hash: h,
 	})
-	n.announceTx(h, p.id, now)
+	// Stock unreachable (NATed) nodes accept third-party transactions
+	// but do not forward them — they are relay dead-ends, one of the
+	// §IV root causes. The unreachable-tx-relay policy (Franzoni &
+	// Daza) turns forwarding on; reachable nodes always forward.
+	if n.cfg.Reachable || n.pol.fwdTxUnreachable {
+		n.announceTx(h, p.id, now)
+	}
 }
 
 // SubmitTx injects a locally-generated transaction (the simulation's

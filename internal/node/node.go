@@ -23,6 +23,7 @@
 package node
 
 import (
+	"fmt"
 	"math/rand"
 	"net/netip"
 	"time"
@@ -86,7 +87,9 @@ const (
 	PriorityOutbound
 )
 
-// String returns the policy name.
+// String returns the policy name. Out-of-range values render as a
+// stable "unknown(N)" form, so logs and CSV cells stay unambiguous and
+// distinct values never collide on a bare "unknown".
 func (p RelayPolicy) String() string {
 	switch p {
 	case RoundRobin:
@@ -96,7 +99,7 @@ func (p RelayPolicy) String() string {
 	case PriorityOutbound:
 		return "priority-outbound"
 	default:
-		return "unknown"
+		return fmt.Sprintf("unknown(%d)", int(p))
 	}
 }
 
@@ -193,18 +196,38 @@ type Config struct {
 	// MaxOutbound, which recovers slots faster.
 	MaxPendingDials int
 	// RelayPolicy selects the message scheduling policy (RoundRobin when
-	// zero).
+	// zero). Normalization happens here and nowhere else: withDefaults
+	// is the single place a zero RelayPolicy becomes RoundRobin.
+	//
+	// Deprecated: prefer Policies (priority-relay / ideal-broadcast).
+	// The field remains the compile baseline a RelaySchedPolicy
+	// overrides, so existing callers keep byte-identical behaviour.
 	RelayPolicy RelayPolicy
 	// CompactBlocks enables BIP-152 high-bandwidth block relay.
 	CompactBlocks bool
 	// AddrHorizon overrides the addrman eviction horizon (§V refinement).
+	//
+	// Deprecated: prefer Policies (horizon-<N>d).
 	AddrHorizon time.Duration
 	// TriedOnlyGetAddr makes GETADDR responses sample only the tried
 	// table (§V refinement).
+	//
+	// Deprecated: prefer Policies (tried-only-addr).
 	TriedOnlyGetAddr bool
+	// Policies is the ordered intervention set (see policy.go). It is
+	// compiled once in New into plain fields — the hot paths never
+	// consult the set — and applies on top of the legacy knob fields
+	// above (last policy implementing a hook wins).
+	Policies PolicySet
 	// GetAddrResponder, when non-nil, overrides the ADDR response —
 	// the hook used to model the paper's §IV-B malicious flooders.
 	GetAddrResponder func() []wire.NetAddress
+	// AddrSink, when non-nil, receives every multi-address ADDR payload
+	// this node ingests (GETADDR response chunks; one-address
+	// self-advertisements are skipped). It is the measurement seam the
+	// Grundmann estimators attach to — nil costs nothing on the ADDR
+	// path.
+	AddrSink func(from netip.AddrPort, addrs []wire.NetAddress)
 	// SeedAddrs boot the address manager (DNS-seeder equivalent).
 	SeedAddrs []wire.NetAddress
 	// Genesis anchors the chain. Required.
@@ -341,6 +364,15 @@ type Node struct {
 	dialAttempts  int
 	dialSuccesses int
 
+	// pol is the compiled policy set (resolved once in New); hot paths
+	// read its plain fields, never Config.Policies.
+	pol compiledPolicies
+	// anchors is the churn-resilient-peering state: recently-good
+	// outbound peer addresses in confirmation order, retried first when
+	// an outbound slot frees up. A failed anchor dial evicts the
+	// address, so a stale list cannot starve the addrman path.
+	anchors []netip.AddrPort
+
 	// backoff holds the per-address reconnect schedule; addresses are
 	// skipped by selectDialTarget until their deadline passes.
 	backoff map[netip.AddrPort]*backoffState
@@ -439,15 +471,20 @@ func New(cfg Config, env Env) *Node {
 		tracer:         cfg.Tracer,
 		dialStarted:    make(map[netip.AddrPort]time.Time),
 	}
-	n.addrman = addrman.New(addrman.Config{
+	amCfg := addrman.Config{
 		Key:              cfg.AddrManKey,
 		Horizon:          cfg.AddrHorizon,
 		TriedOnlyGetAddr: cfg.TriedOnlyGetAddr,
 		Now:              env.Now,
 		Rand:             env.Rand(),
-	})
+	}
+	n.pol, amCfg = resolvePolicies(cfg, amCfg)
+	n.addrman = addrman.New(amCfg)
 	return n
 }
+
+// Policies returns the node's configured intervention set.
+func (n *Node) Policies() PolicySet { return n.cfg.Policies }
 
 // Start boots the node: seeds the address manager and begins the
 // connection maintenance and feeler loops.
@@ -647,8 +684,17 @@ func (n *Node) feelerTick() {
 }
 
 // selectDialTarget samples addrman for a dialable address, skipping self,
-// current peers, and in-flight dials.
+// current peers, and in-flight dials. Under churn-resilient-peering,
+// regular outbound dials try the anchor list first (bypassing backoff —
+// an anchor was good moments ago, and a failed retry evicts it), so a
+// node that just lost a peer to churn reconnects to proven addresses
+// instead of re-gambling on the mostly-dead gossip mix.
 func (n *Node) selectDialTarget(newOnly bool) (wire.NetAddress, bool) {
+	if n.pol.anchorsEnabled && !newOnly {
+		if na, ok := n.selectAnchor(); ok {
+			return na, true
+		}
+	}
 	const tries = 20
 	for i := 0; i < tries; i++ {
 		na, ok := n.addrman.Select(newOnly)
@@ -670,6 +716,48 @@ func (n *Node) selectDialTarget(newOnly bool) (wire.NetAddress, bool) {
 		return na, true
 	}
 	return wire.NetAddress{}, false
+}
+
+// selectAnchor returns the oldest anchor not already connected or being
+// dialed. Anchors are kept in confirmation order, so the scan is
+// deterministic.
+func (n *Node) selectAnchor() (wire.NetAddress, bool) {
+	for _, a := range n.anchors {
+		if a == n.cfg.Self.Addr {
+			continue
+		}
+		if _, connected := n.byAddr[a]; connected {
+			continue
+		}
+		if _, inFlight := n.dialing[a]; inFlight {
+			continue
+		}
+		return wire.NetAddress{
+			Addr: a, Services: wire.SFNodeNetwork, Timestamp: n.env.Now(),
+		}, true
+	}
+	return wire.NetAddress{}, false
+}
+
+// noteAnchor records a confirmed-good outbound peer, moving a repeat to
+// the back (most recently confirmed) and bounding the list.
+func (n *Node) noteAnchor(a netip.AddrPort) {
+	n.dropAnchor(a)
+	n.anchors = append(n.anchors, a)
+	if len(n.anchors) > maxAnchors {
+		n.anchors = n.anchors[len(n.anchors)-maxAnchors:]
+	}
+}
+
+// dropAnchor removes an address from the anchor list (dial failure: the
+// anchor has churned away and must not be retried forever).
+func (n *Node) dropAnchor(a netip.AddrPort) {
+	for i, x := range n.anchors {
+		if x == a {
+			n.anchors = append(n.anchors[:i], n.anchors[i+1:]...)
+			return
+		}
+	}
 }
 
 // startDial records the attempt and hands the dial to the environment.
@@ -718,6 +806,9 @@ func (n *Node) OnDialResult(remote netip.AddrPort, conn ConnID, err error) {
 			Dir: dir, Time: n.env.Now(), Err: err,
 		})
 		n.armBackoff(remote)
+		if n.pol.anchorsEnabled {
+			n.dropAnchor(remote)
+		}
 		return
 	}
 	n.clearBackoff(remote)

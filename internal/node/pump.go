@@ -34,7 +34,7 @@ func (n *Node) queueRelay(p *Peer, msg wire.Message, class msgClass, mark outMsg
 		relayMark: mark.relayMark,
 		recvAt:    mark.recvAt,
 	}
-	switch n.cfg.RelayPolicy {
+	switch n.pol.relay {
 	case Broadcast:
 		// Idealized lock-step broadcast: announcements leave instantly,
 		// concurrently to every connection.
@@ -104,7 +104,7 @@ func (n *Node) armPump() {
 // vNodes in connection order); PriorityOutbound services outbound
 // connections first.
 func (n *Node) pumpOrder() []ConnID {
-	if n.cfg.RelayPolicy != PriorityOutbound {
+	if n.pol.relay != PriorityOutbound {
 		return n.rrOrder
 	}
 	order := make([]ConnID, 0, len(n.rrOrder))

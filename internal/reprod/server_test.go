@@ -786,6 +786,59 @@ func TestSpecKeyCanonicalization(t *testing.T) {
 	}
 }
 
+// TestSpecKeyPolicies pins the policy field's cache-key semantics: the
+// field always participates in the key when set, and a spec without it
+// keeps the exact key it had before the field existed (a populated
+// cache survives the upgrade).
+func TestSpecKeyPolicies(t *testing.T) {
+	base := Spec{ID: "fig1", Seed: 7, Scale: 0.5, NetSize: 100, Quick: true}
+	// Golden legacy key: sha256 of
+	// "v=v1|id=fig1|seed=7|scale=0.5|netsize=100|quick=true". If this
+	// changes, every pre-policy cache entry is orphaned.
+	const legacy = "dae6a2e832047fc62886f7af6b873b29c19382a7012483232afd30e13148b37e"
+	if k := base.Key("v1"); k != legacy {
+		t.Errorf("no-policy key drifted: %s, want %s", k, legacy)
+	}
+
+	a, b, c := base, base, base
+	a.Policies = "tried-only-addr"
+	b.Policies = "tried-only-addr+horizon-17d"
+	c.Policies = "stock"
+	keys := map[string]string{
+		"":         base.Key("v1"),
+		a.Policies: a.Key("v1"),
+		b.Policies: b.Key("v1"),
+		c.Policies: c.Key("v1"),
+	}
+	seen := map[string]string{}
+	for policies, k := range keys {
+		if prev, dup := seen[k]; dup {
+			t.Errorf("specs with policies %q and %q collide on key %s", policies, prev, k)
+		}
+		seen[k] = policies
+	}
+}
+
+// TestSpecValidatePolicies: only canonical policy-set encodings are
+// admitted — anything else would fragment the content-addressed cache.
+func TestSpecValidatePolicies(t *testing.T) {
+	lookup := newTestExperiments().lookup
+	for _, good := range []string{"", "stock", "tried-only-addr",
+		"tried-only-addr+horizon-17d+priority-relay"} {
+		s := Spec{ID: "tiny", Policies: good}
+		if err := s.Validate(lookup); err != nil {
+			t.Errorf("canonical policies %q rejected: %v", good, err)
+		}
+	}
+	for _, bad := range []string{"nope", "stock+tried-only-addr",
+		"tried-only-addr+tried-only-addr", "horizon-017d", "HORIZON-17D"} {
+		s := Spec{ID: "tiny", Policies: bad}
+		if err := s.Validate(lookup); err == nil {
+			t.Errorf("non-canonical policies %q accepted", bad)
+		}
+	}
+}
+
 func TestSpecValidate(t *testing.T) {
 	lookup := newTestExperiments().lookup
 	ok := Spec{ID: "tiny", Seed: 1, Scale: 0.5, NetSize: 50, Workers: 4, TimeoutMS: 1000}

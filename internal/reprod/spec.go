@@ -25,14 +25,15 @@ import (
 	"runtime/debug"
 
 	"repro/internal/core"
+	"repro/internal/node"
 )
 
 // Spec is one client-submitted experiment request. The result-relevant
-// fields (ID, Seed, Scale, NetSize, Quick) form the cache identity;
-// Workers and TimeoutMS tune execution without changing the artifact
-// (results are byte-identical at any worker count, and a deadline
-// either produces the full artifact or no artifact), so they stay out
-// of the key.
+// fields (ID, Seed, Scale, NetSize, Quick, Policies) form the cache
+// identity; Workers and TimeoutMS tune execution without changing the
+// artifact (results are byte-identical at any worker count, and a
+// deadline either produces the full artifact or no artifact), so they
+// stay out of the key.
 type Spec struct {
 	// ID names the experiment (core registry: "fig1" … "chaos").
 	ID string `json:"id"`
@@ -44,6 +45,11 @@ type Spec struct {
 	NetSize int `json:"netsize,omitempty"`
 	// Quick selects the reduced smoke-run sizes.
 	Quick bool `json:"quick,omitempty"`
+	// Policies restricts the intervention-grid experiment (fig_interv)
+	// to stock versus this policy set. It must be a canonical
+	// node.ParsePolicySet encoding ("tried-only-addr+horizon-17d", or
+	// "stock"); other experiments ignore it but it still keys the cache.
+	Policies string `json:"policies,omitempty"`
 	// Workers is the intra-experiment fan-out width (0 = GOMAXPROCS).
 	Workers int `json:"workers,omitempty"`
 	// TimeoutMS, when positive, lowers the server's per-run deadline for
@@ -77,17 +83,31 @@ func (s Spec) Validate(lookup func(string) (core.Experiment, bool)) error {
 	if s.TimeoutMS < 0 {
 		return fmt.Errorf("reprod: negative timeout_ms %d", s.TimeoutMS)
 	}
+	if s.Policies != "" {
+		set, err := node.ParsePolicySet(s.Policies)
+		if err != nil {
+			return fmt.Errorf("reprod: %w", err)
+		}
+		// The key hashes the string verbatim, so only the canonical
+		// encoding is admitted — otherwise equivalent spellings would
+		// fragment the cache.
+		if set.String() != s.Policies {
+			return fmt.Errorf("reprod: policies %q is not canonical (use %q)",
+				s.Policies, set.String())
+		}
+	}
 	return nil
 }
 
 // Options maps the spec onto engine options.
 func (s Spec) Options() core.Options {
 	return core.Options{
-		Seed:    s.Seed,
-		Scale:   s.Scale,
-		NetSize: s.NetSize,
-		Quick:   s.Quick,
-		Workers: s.Workers,
+		Seed:     s.Seed,
+		Scale:    s.Scale,
+		NetSize:  s.NetSize,
+		Quick:    s.Quick,
+		Workers:  s.Workers,
+		Policies: s.Policies,
 	}
 }
 
@@ -98,6 +118,15 @@ func (s Spec) Options() core.Options {
 func (s Spec) Key(version string) string {
 	canonical := fmt.Sprintf("v=%s|id=%s|seed=%d|scale=%g|netsize=%d|quick=%t",
 		version, s.ID, s.Seed, s.Scale, s.NetSize, s.Quick)
+	// The policies field is appended only when set: every pre-policy
+	// spec keeps the exact key it had before the field existed, so a
+	// populated cache survives the upgrade. Validate admits only the
+	// canonical encoding, so equivalent spellings cannot fragment the
+	// cache, and "" (absent) versus "stock" (explicit) are the only two
+	// spellings of stock — the legacy one stays the default.
+	if s.Policies != "" {
+		canonical += "|policies=" + s.Policies
+	}
 	sum := sha256.Sum256([]byte(canonical))
 	return hex.EncodeToString(sum[:])
 }

@@ -80,6 +80,28 @@ hit=$(curl -fsS -D - -X POST "$base/run" -d "$EST_SPEC" -o /dev/null |
 [ "$hit" = "hit" ] || { echo "fig_est X-Reprod-Cache = '$hit', want hit"; exit 1; }
 echo "one fig_est execution, byte-identical responses, repeat is a cache hit"
 
+echo "--- intervention grid: 2-cell restricted sweep through the cache"
+# Two restricted fig_interv specs differing only in the policies field:
+# they must execute separately (policies is part of the cache key), and
+# each repeat must be a cache hit.
+IV_STOCK='{"id":"fig_interv","quick":true,"seed":7,"netsize":24,"policies":"stock"}'
+IV_TRIED='{"id":"fig_interv","quick":true,"seed":7,"netsize":24,"policies":"tried-only-addr+horizon-17d+priority-relay"}'
+curl -fsS -X POST "$base/run" -d "$IV_STOCK" -o "$tmp/iv_stock.txt"
+curl -fsS -X POST "$base/run" -d "$IV_TRIED" -o "$tmp/iv_tried.txt"
+cmp -s "$tmp/iv_stock.txt" "$tmp/iv_tried.txt" && { echo "different policy sets served the same artifact"; exit 1; }
+executed=$(curl -fsS "$base/metrics" | awk '$1 == "reprod_runs_executed" {print $2}')
+[ "$executed" = "4" ] || { echo "reprod_runs_executed = $executed, want 4 (fig7 + fig_est + 2 fig_interv cells)"; exit 1; }
+for spec in "$IV_STOCK" "$IV_TRIED"; do
+  hit=$(curl -fsS -D - -X POST "$base/run" -d "$spec" -o /dev/null |
+    tr -d '\r' | awk 'tolower($1) == "x-reprod-cache:" {print $2}')
+  [ "$hit" = "hit" ] || { echo "fig_interv X-Reprod-Cache = '$hit', want hit"; exit 1; }
+done
+# Non-canonical policy spellings must be rejected, not fragment the cache.
+code=$(curl -sS -o /dev/null -w '%{http_code}' -X POST "$base/run" \
+  -d '{"id":"fig_interv","quick":true,"policies":"horizon-017d"}')
+[ "$code" = "400" ] || { echo "non-canonical policies got HTTP $code, want 400"; exit 1; }
+echo "two grid cells executed once each, repeats hit, non-canonical rejected"
+
 echo "--- graceful drain on SIGTERM"
 kill -TERM "$pid"
 drained=1
