@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -10,29 +11,37 @@ goarch: amd64
 pkg: repro/internal/obs
 BenchmarkCounterInc-8      	92441530	        12.95 ns/op	       0 B/op	       0 allocs/op
 BenchmarkHistogramObserve-8	29812345	        40.10 ns/op
-BenchmarkTracerEmit-8      	 1000000	      1050 ns/op
-BenchmarkCounterInc-8      	90000000	        13.20 ns/op
+BenchmarkTracerEmit-8      	 1000000	      1050 ns/op	     128 B/op	       2 allocs/op
+BenchmarkCounterInc-8      	90000000	        13.20 ns/op	       8 B/op	       1 allocs/op
 PASS
 ok  	repro/internal/obs	5.123s
 `
+
+func f64(v float64) *float64 { return &v }
 
 func TestParseBench(t *testing.T) {
 	got, err := parseBench(strings.NewReader(sampleOutput))
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := map[string]float64{
-		"BenchmarkCounterInc":       12.95, // min of the two runs
-		"BenchmarkHistogramObserve": 40.10,
-		"BenchmarkTracerEmit":       1050,
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
 	}
-	if len(got) != len(want) {
-		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	// Min of the two CounterInc runs, per column.
+	ci := got["BenchmarkCounterInc"]
+	if ci.NsPerOp != 12.95 || ci.BPerOp != 0 || ci.AllocsPerOp != 0 || !ci.HasMem {
+		t.Errorf("CounterInc = %+v, want min ns 12.95, 0 B/op, 0 allocs/op", ci)
 	}
-	for name, ns := range want {
-		if got[name] != ns {
-			t.Errorf("%s = %v ns/op, want %v", name, got[name], ns)
-		}
+	if ci.Pkg != "repro/internal/obs" {
+		t.Errorf("CounterInc pkg = %q, want repro/internal/obs", ci.Pkg)
+	}
+	ho := got["BenchmarkHistogramObserve"]
+	if ho.NsPerOp != 40.10 || ho.HasMem {
+		t.Errorf("HistogramObserve = %+v, want 40.10 ns/op without memory columns", ho)
+	}
+	te := got["BenchmarkTracerEmit"]
+	if te.NsPerOp != 1050 || te.BPerOp != 128 || te.AllocsPerOp != 2 {
+		t.Errorf("TracerEmit = %+v, want 1050/128/2", te)
 	}
 }
 
@@ -46,35 +55,174 @@ func TestParseBenchIgnoresNoise(t *testing.T) {
 	}
 }
 
+var defaults = gateParams{nsTolerance: 0.25, bTolerance: 0.10}
+
 func TestCompareWithinTolerance(t *testing.T) {
-	base := map[string]float64{"BenchmarkX": 100}
-	if p := compare(base, map[string]float64{"BenchmarkX": 124}, 0.25); len(p) != 0 {
+	base := map[string]*Entry{"BenchmarkX": {NsPerOp: 100}}
+	p, _ := compare(base, map[string]Result{"BenchmarkX": {NsPerOp: 124}}, defaults)
+	if len(p) != 0 {
 		t.Errorf("24%% slowdown should pass at 25%% tolerance: %v", p)
 	}
-	if p := compare(base, map[string]float64{"BenchmarkX": 80}, 0.25); len(p) != 0 {
+	p, _ = compare(base, map[string]Result{"BenchmarkX": {NsPerOp: 80}}, defaults)
+	if len(p) != 0 {
 		t.Errorf("speedup should always pass: %v", p)
 	}
 }
 
 func TestCompareRegression(t *testing.T) {
-	base := map[string]float64{"BenchmarkX": 100, "BenchmarkY": 10}
-	p := compare(base, map[string]float64{"BenchmarkX": 130, "BenchmarkY": 10}, 0.25)
+	base := map[string]*Entry{"BenchmarkX": {NsPerOp: 100}, "BenchmarkY": {NsPerOp: 10}}
+	p, _ := compare(base, map[string]Result{
+		"BenchmarkX": {NsPerOp: 130},
+		"BenchmarkY": {NsPerOp: 10},
+	}, defaults)
 	if len(p) != 1 || !strings.Contains(p[0], "BenchmarkX") {
 		t.Fatalf("30%% slowdown should fail exactly once: %v", p)
 	}
 }
 
 func TestCompareMissingBenchmark(t *testing.T) {
-	base := map[string]float64{"BenchmarkGone": 50}
-	p := compare(base, map[string]float64{}, 0.25)
+	base := map[string]*Entry{"BenchmarkGone": {NsPerOp: 50}}
+	p, _ := compare(base, map[string]Result{}, defaults)
 	if len(p) != 1 || !strings.Contains(p[0], "missing") {
 		t.Fatalf("baseline entry absent from output should fail: %v", p)
 	}
 }
 
 func TestCompareNewBenchmarkPasses(t *testing.T) {
-	p := compare(map[string]float64{}, map[string]float64{"BenchmarkNew": 5}, 0.25)
+	p, _ := compare(map[string]*Entry{}, map[string]Result{"BenchmarkNew": {NsPerOp: 5}}, defaults)
 	if len(p) != 0 {
 		t.Fatalf("benchmark not in baseline should not fail the guard: %v", p)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	base := map[string]*Entry{
+		"BenchmarkX": {NsPerOp: 100, BPerOp: f64(0), AllocsPerOp: f64(0)},
+	}
+	// One new allocation fails with zero slack.
+	p, _ := compare(base, map[string]Result{
+		"BenchmarkX": {NsPerOp: 100, BPerOp: 16, AllocsPerOp: 1, HasMem: true},
+	}, defaults)
+	if len(p) != 1 || !strings.Contains(p[0], "allocs/op") {
+		t.Fatalf("alloc growth with zero slack should fail once: %v", p)
+	}
+	// Per-entry slack absorbs it.
+	base["BenchmarkX"].AllocSlack = f64(1)
+	p, _ = compare(base, map[string]Result{
+		"BenchmarkX": {NsPerOp: 100, BPerOp: 16, AllocsPerOp: 1, HasMem: true},
+	}, defaults)
+	if len(p) != 0 {
+		t.Fatalf("alloc growth within per-entry slack should pass: %v", p)
+	}
+}
+
+func TestCompareBytesFloorAndRelative(t *testing.T) {
+	// Small baseline: the 64-byte floor dominates the 10% gate.
+	base := map[string]*Entry{
+		"BenchmarkSmall": {NsPerOp: 10, BPerOp: f64(8), AllocsPerOp: f64(1)},
+		"BenchmarkBig":   {NsPerOp: 10, BPerOp: f64(1 << 20), AllocsPerOp: f64(1)},
+	}
+	p, _ := compare(base, map[string]Result{
+		"BenchmarkSmall": {NsPerOp: 10, BPerOp: 64, AllocsPerOp: 1, HasMem: true},
+		"BenchmarkBig":   {NsPerOp: 10, BPerOp: 1 << 20, AllocsPerOp: 1, HasMem: true},
+	}, defaults)
+	if len(p) != 0 {
+		t.Fatalf("+56B on an 8B baseline is within the floor: %v", p)
+	}
+	// Big benchmark growing 20% trips the relative gate even though the
+	// floor alone would never catch it.
+	p, _ = compare(base, map[string]Result{
+		"BenchmarkSmall": {NsPerOp: 10, BPerOp: 8, AllocsPerOp: 1, HasMem: true},
+		"BenchmarkBig":   {NsPerOp: 10, BPerOp: 1.2 * (1 << 20), AllocsPerOp: 1, HasMem: true},
+	}, defaults)
+	if len(p) != 1 || !strings.Contains(p[0], "BenchmarkBig") || !strings.Contains(p[0], "B/op") {
+		t.Fatalf("20%% byte growth on a big benchmark should fail the B/op gate: %v", p)
+	}
+}
+
+func TestCompareSkipsMemGatesWithoutBenchmem(t *testing.T) {
+	base := map[string]*Entry{
+		"BenchmarkX": {NsPerOp: 100, BPerOp: f64(0), AllocsPerOp: f64(0)},
+	}
+	p, n := compare(base, map[string]Result{
+		"BenchmarkX": {NsPerOp: 100}, // no -benchmem columns
+	}, defaults)
+	if len(p) != 0 {
+		t.Fatalf("missing -benchmem columns must not fail the guard: %v", p)
+	}
+	if len(n) != 1 || !strings.Contains(n[0], "-benchmem") {
+		t.Fatalf("skipping memory gates should produce one notice: %v", n)
+	}
+}
+
+func TestMigrateV1Baseline(t *testing.T) {
+	raw := `{"note":"old","ns_per_op":{"BenchmarkA":12.5,"BenchmarkB":300}}`
+	var b Baseline
+	if err := json.Unmarshal([]byte(raw), &b); err != nil {
+		t.Fatal(err)
+	}
+	b.migrate()
+	if len(b.Benchmarks) != 2 || b.NsPerOp != nil {
+		t.Fatalf("migrate: %+v", b)
+	}
+	e := b.Benchmarks["BenchmarkA"]
+	if e.NsPerOp != 12.5 || e.BPerOp != nil || e.AllocsPerOp != nil {
+		t.Fatalf("migrated entry: %+v", e)
+	}
+	// Migrated entries still gate ns/op...
+	p, _ := compare(b.Benchmarks, map[string]Result{
+		"BenchmarkA": {NsPerOp: 20, HasMem: true},
+		"BenchmarkB": {NsPerOp: 300, HasMem: true},
+	}, defaults)
+	if len(p) != 1 || !strings.Contains(p[0], "BenchmarkA") {
+		t.Fatalf("migrated v1 entries must still gate ns/op: %v", p)
+	}
+	// ...and never memory (no reference data), even with -benchmem input.
+	p, n := compare(b.Benchmarks, map[string]Result{
+		"BenchmarkA": {NsPerOp: 12.5, BPerOp: 4096, AllocsPerOp: 50, HasMem: true},
+		"BenchmarkB": {NsPerOp: 300, HasMem: true},
+	}, defaults)
+	if len(p) != 0 || len(n) != 0 {
+		t.Fatalf("v1 entries carry no memory gates: problems=%v notices=%v", p, n)
+	}
+}
+
+func TestRegenerateNoteFromEntries(t *testing.T) {
+	b := buildBaseline(map[string]Result{
+		"BenchmarkCounterInc": {Pkg: "repro/internal/obs", NsPerOp: 12, BPerOp: 0, AllocsPerOp: 0, HasMem: true},
+		"BenchmarkTracerEmit": {Pkg: "repro/internal/obs", NsPerOp: 200, BPerOp: 0, AllocsPerOp: 0, HasMem: true},
+		"BenchmarkScan":       {Pkg: "repro/internal/crawler", NsPerOp: 35e4, BPerOp: 100, AllocsPerOp: 3, HasMem: true},
+	}, nil)
+	if b.Schema != baselineSchema {
+		t.Fatalf("schema = %d, want %d", b.Schema, baselineSchema)
+	}
+	note := b.Note
+	for _, want := range []string{
+		"./internal/obs/",
+		"./internal/crawler/",
+		"-benchmem",
+		"'^Benchmark(CounterInc|TracerEmit)$'",
+		"'^Benchmark(Scan)$'",
+		"-update",
+	} {
+		if !strings.Contains(note, want) {
+			t.Errorf("note %q missing %q", note, want)
+		}
+	}
+}
+
+func TestBuildBaselineCarriesOverrides(t *testing.T) {
+	prev := &Baseline{Benchmarks: map[string]*Entry{
+		"BenchmarkX": {Pkg: "repro/internal/obs", NsPerOp: 100, AllocSlack: f64(2), NsTolerance: f64(0.5)},
+	}}
+	b := buildBaseline(map[string]Result{
+		"BenchmarkX": {Pkg: "repro/internal/obs", NsPerOp: 90, BPerOp: 8, AllocsPerOp: 1, HasMem: true},
+	}, prev)
+	e := b.Benchmarks["BenchmarkX"]
+	if e.AllocSlack == nil || *e.AllocSlack != 2 || e.NsTolerance == nil || *e.NsTolerance != 0.5 {
+		t.Fatalf("per-entry overrides lost across -update: %+v", e)
+	}
+	if e.NsPerOp != 90 || e.BPerOp == nil || *e.BPerOp != 8 {
+		t.Fatalf("observed costs not taken: %+v", e)
 	}
 }

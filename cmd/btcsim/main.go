@@ -79,6 +79,11 @@ func run() error {
 		defer srv.Close()
 		liveReg = obs.NewRegistry()
 		srv.Handle("/metrics", obs.PrometheusHandler(liveReg))
+		// Live proc.* gauges (heap, goroutines, GC) ride the same registry
+		// on a wall ticker. Like everything on the live view they never
+		// touch stdout, so output determinism is unaffected.
+		stopRes := obs.NewResourceSampler(liveReg).Start(2 * time.Second)
+		defer stopRes()
 		fmt.Printf("pprof listening on http://%s/debug/pprof/ (metrics at /metrics)\n", srv.Addr)
 	}
 

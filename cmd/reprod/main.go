@@ -8,6 +8,7 @@
 //	reprod [-addr 127.0.0.1:8344] [-cache reprod-cache]
 //	       [-max-active 0] [-max-queue 64]
 //	       [-run-timeout 10m] [-drain-timeout 30s]
+//	       [-flightrec <dir>]
 //
 // API:
 //
@@ -54,6 +55,7 @@ func run() error {
 		maxQueue     = flag.Int("max-queue", 64, "max admitted requests waiting for a slot; beyond this, shed with 429")
 		runTimeout   = flag.Duration("run-timeout", 10*time.Minute, "per-run wall-clock deadline ceiling")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight runs before cancelling them")
+		flightDir    = flag.String("flightrec", "", "write crash flight records (flightrec-<key>.json) into this directory on panic/deadline")
 	)
 	flag.Parse()
 
@@ -62,6 +64,7 @@ func run() error {
 		MaxActive:  *maxActive,
 		MaxQueue:   *maxQueue,
 		RunTimeout: *runTimeout,
+		FlightDir:  *flightDir,
 	})
 	if err != nil {
 		return err

@@ -256,8 +256,13 @@ func Experiments() []Experiment {
 	return out
 }
 
-// ByID finds an experiment.
+// ByID finds an experiment. Besides the public registry it resolves the
+// hidden crash-drill experiment (SelftestCrashID), which is addressable
+// by ID but never part of Experiments() batches.
 func ByID(id string) (Experiment, bool) {
+	if id == SelftestCrashID {
+		return selftestCrashExperiment(), true
+	}
 	for _, e := range registry() {
 		if e.ID == id {
 			return e, true

@@ -38,7 +38,18 @@ const maxSparklines = 24
 // to w — the in-memory twin of WriteHTMLReport, used by the reprod
 // service to bundle the page into its content-addressed artifact cache.
 func RenderHTMLReport(w io.Writer, reports []*Report) error {
-	return renderHTML(w, reports)
+	return renderHTML(w, reports, nil)
+}
+
+// RenderHTMLReportWithResources is RenderHTMLReport plus a trailing
+// "Resources" section showing the run's process accounting (peak heap,
+// CPU time, events processed). Resource stats are wall-clock derived and
+// vary run to run, so only per-run surfaces may use this variant: the
+// reprod service renders it into each cached bundle, while the CLI
+// determinism path (reports compared across worker counts) stays on
+// RenderHTMLReport.
+func RenderHTMLReportWithResources(w io.Writer, reports []*Report, res *obs.ResourceStats) error {
+	return renderHTML(w, reports, res)
 }
 
 // WriteHTMLReport writes reports as a single HTML page at path.
@@ -47,7 +58,7 @@ func WriteHTMLReport(path string, reports []*Report) error {
 	if err != nil {
 		return fmt.Errorf("core: create %s: %w", path, err)
 	}
-	if err := renderHTML(f, reports); err != nil {
+	if err := renderHTML(f, reports, nil); err != nil {
 		_ = f.Close()
 		return fmt.Errorf("core: write %s: %w", path, err)
 	}
@@ -57,8 +68,9 @@ func WriteHTMLReport(path string, reports []*Report) error {
 	return nil
 }
 
-// renderHTML writes the full page.
-func renderHTML(w io.Writer, reports []*Report) error {
+// renderHTML writes the full page, appending a Resources section when
+// res is non-nil.
+func renderHTML(w io.Writer, reports []*Report, res *obs.ResourceStats) error {
 	var b strings.Builder
 	b.WriteString(`<!DOCTYPE html>
 <html lang="en"><head><meta charset="utf-8">
@@ -93,6 +105,9 @@ svg { background: #fafafa; border: 1px solid #e5e5e5; }
 			fmt.Fprintf(&b, "<p class=\"note\">%s</p>\n", html.EscapeString(n))
 		}
 		renderSparklines(&b, r.Series)
+	}
+	if res != nil {
+		renderResources(&b, res)
 	}
 	b.WriteString("</body></html>\n")
 	_, err := io.WriteString(w, b.String())
@@ -174,6 +189,24 @@ func sparkline(b *strings.Builder, s *obs.Series) {
 		width, height, width, height, pts.String())
 	fmt.Fprintf(b, "<figcaption>%s<br>min %s · max %s · n=%d</figcaption></figure>\n",
 		html.EscapeString(s.Name), trimFloat(minV), trimFloat(maxV), len(s.Points))
+}
+
+// renderResources writes the run-level Resources section: the process
+// accounting measured while this batch ran.
+func renderResources(b *strings.Builder, res *obs.ResourceStats) {
+	b.WriteString("<h2>Resources</h2>\n<table class=\"metrics\"><tr><th>resource</th><th>value</th></tr>\n")
+	row := func(name, value string) {
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td></tr>\n",
+			html.EscapeString(name), html.EscapeString(value))
+	}
+	row("peak heap", fmt.Sprintf("%d bytes", res.PeakHeapBytes))
+	row("peak goroutines", fmt.Sprintf("%d", res.PeakGoroutines))
+	row("allocated", fmt.Sprintf("%d bytes (%d objects)", res.AllocBytes, res.Mallocs))
+	row("gc cycles", fmt.Sprintf("%d (max pause %d ns)", res.NumGC, res.GCPauseMaxNS))
+	row("cpu time", fmt.Sprintf("%d ns", res.CPUNS))
+	row("wall time", fmt.Sprintf("%d ns", res.WallNS))
+	row("events processed", fmt.Sprintf("%d", res.EventsProcessed))
+	b.WriteString("</table>\n")
 }
 
 // trimFloat renders a value compactly for captions.

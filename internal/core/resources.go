@@ -1,0 +1,54 @@
+package core
+
+import (
+	"context"
+	"fmt"
+)
+
+// EventsProcessed returns the number of virtual-time scheduler events a
+// report's simulation executed, by summing the deterministic
+// simnet.sched.executed.delta series. Unlike wall-clock resource stats
+// this is a pure function of the seeded run — the same at any worker
+// count — so it is safe to attach to cached manifests and reports.
+// Snapshot-style experiments that run no event loop report zero.
+func EventsProcessed(r *Report) uint64 {
+	if r == nil {
+		return 0
+	}
+	s, ok := r.Series.Get("simnet.sched.executed.delta")
+	if !ok {
+		return 0
+	}
+	var total float64
+	for _, p := range s.Points {
+		total += p.V
+	}
+	if total < 0 {
+		return 0
+	}
+	return uint64(total)
+}
+
+// SelftestCrashID names the hidden crash-drill experiment: it panics
+// mid-run by design, exercising the panic containment, error
+// classification, and flight-recorder paths end to end. It resolves via
+// ByID (so the reprod service and -id accept it) but is excluded from
+// Experiments(), keeping it out of -all batches and the report corpus.
+const SelftestCrashID = "selftest_crash"
+
+// selftestCrashExperiment builds the crash drill. It does a little real
+// allocation first so the dumped resource watermarks are non-trivial.
+func selftestCrashExperiment() Experiment {
+	return Experiment{
+		ID:      SelftestCrashID,
+		Title:   "crash drill (panics by design; exercises the flight recorder)",
+		Section: "—",
+		Run: func(ctx context.Context, opts Options) (*Report, error) {
+			ballast := make([][]byte, 0, 32)
+			for i := 0; i < 32; i++ {
+				ballast = append(ballast, make([]byte, 64<<10))
+			}
+			panic(fmt.Sprintf("selftest_crash: induced panic (ballast=%d blocks)", len(ballast)))
+		},
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime/debug"
@@ -47,6 +48,23 @@ type Runner struct {
 	// progress surface (the reprod service streams them as NDJSON), not
 	// part of the deterministic report output.
 	Trace *obs.Tracer
+	// Resources, when non-nil, opens a per-experiment measurement window
+	// on the shared process sampler and appends one "  resources: ..."
+	// line per experiment to Profiles. Like the profile lines, resource
+	// stats are wall-clock derived and nondeterministic, so they never
+	// touch the report writer, the CSV sidecars, or Report itself.
+	Resources *obs.ResourceSampler
+	// FlightRecorder, when non-nil, receives a crash dump — tracer ring,
+	// resource watermarks, panic value and stack — whenever an experiment
+	// dies by panic or deadline, keyed by the experiment ID. Watermarks
+	// are captured even when Resources is nil: arming the recorder arms
+	// an unpublished sampler for the crash window, so a record is never
+	// dumped with empty resource data.
+	FlightRecorder *obs.FlightRecorder
+	// FlightKey, when non-empty, keys flight records instead of the
+	// experiment ID — the reprod service passes its cache key so the
+	// crash artifact and the run it belongs to share an address.
+	FlightKey string
 	// KeepGoing, when true, stops a failing (or panicking) experiment
 	// from cancelling the rest of the batch: every experiment runs,
 	// successes are emitted in order exactly as usual, and Run returns a
@@ -129,6 +147,39 @@ func (r *Runner) runOne(ctx context.Context, i int, e Experiment) (rep *Report, 
 	return e.Run(ctx, r.Options)
 }
 
+// recordFlight dumps a crash record for experiment id when err is a
+// death worth preserving: a contained panic or a context deadline. The
+// dump carries the progress-tracer ring and the sampler's watermarks;
+// dump failures are reported on the trace stream, never allowed to mask
+// the original error.
+func (r *Runner) recordFlight(id string, err error, res obs.ResourceStats) {
+	if r.FlightRecorder == nil || err == nil {
+		return
+	}
+	var cause string
+	var panicValue any
+	var stack []byte
+	var pe *par.PanicError
+	switch {
+	case errors.As(err, &pe):
+		cause, panicValue, stack = "panic", pe.Value, pe.Stack
+	case errors.Is(err, context.DeadlineExceeded):
+		cause = "deadline"
+	default:
+		return
+	}
+	key := id
+	if r.FlightKey != "" {
+		key = r.FlightKey
+	}
+	rec := obs.CaptureFlightRecord(key, cause, panicValue, stack, r.Trace, nil, res)
+	if path, dumpErr := r.FlightRecorder.Dump(rec); dumpErr != nil {
+		r.emitTrace("flightrec.fail", id, ": "+dumpErr.Error(), 0)
+	} else {
+		r.emitTrace("flightrec.dump", id, ": "+path, 0)
+	}
+}
+
 // Run executes exps on the pool and renders each report to w in slice
 // order. The first failure cancels outstanding work and is returned
 // wrapped with its experiment ID (unless KeepGoing is set, which runs
@@ -143,6 +194,15 @@ func (r *Runner) Run(ctx context.Context, exps []Experiment, w io.Writer) error 
 		jobs[i].done = make(chan struct{})
 	}
 
+	// Flight records must carry watermarks even when the caller never
+	// asked for resource lines; sample on an unpublished fallback then.
+	// Printing stays keyed on r.Resources so the Profiles surface is
+	// untouched.
+	sampler := r.Resources
+	if sampler == nil && r.FlightRecorder != nil {
+		sampler = obs.NewResourceSampler(nil)
+	}
+
 	forEachErr := make(chan error, 1)
 	go func() {
 		forEachErr <- par.ForEach(ctx, r.Workers, len(exps), func(ctx context.Context, i int) error {
@@ -151,9 +211,12 @@ func (r *Runner) Run(ctx context.Context, exps []Experiment, w io.Writer) error 
 			r.emitTrace("exp.start", e.ID, "", 0)
 			begin := time.Now()
 			stop := obs.StartProfile()
+			endRes := sampler.StartRun()
 			rep, err := r.runOne(ctx, i, e)
+			res := endRes()
 			if err != nil {
 				jobs[i].err = fmt.Errorf("core: %s: %w", e.ID, err)
+				r.recordFlight(e.ID, err, res)
 				r.emitTrace("exp.fail", e.ID, ": "+err.Error(), time.Since(begin))
 				if r.KeepGoing {
 					return nil
@@ -162,6 +225,10 @@ func (r *Runner) Run(ctx context.Context, exps []Experiment, w io.Writer) error 
 			}
 			rep.Profile = stop()
 			fmt.Fprintf(&jobs[i].profBuf, "  profile: %s\n", rep.Profile)
+			if r.Resources != nil {
+				res.EventsProcessed = EventsProcessed(rep)
+				fmt.Fprintf(&jobs[i].profBuf, "  resources: %s\n", res)
+			}
 			if err := rep.Render(&jobs[i].buf); err != nil {
 				jobs[i].err = fmt.Errorf("core: %s: %w", e.ID, err)
 				r.emitTrace("exp.fail", e.ID, ": "+err.Error(), time.Since(begin))

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file holds the crash-safe file commit protocol shared by the
+// reprod bundle cache and the flight recorder: write to a temp file in
+// the destination directory, fsync the file, rename over the final
+// name, and fsync the directory so the rename itself survives a crash.
+// A reader can only ever observe a complete file or no file — a kill -9
+// mid-write leaves a temp-prefixed leftover that SweepTempFiles removes
+// on the next open, never a torn final file.
+
+// AtomicTempPrefix marks in-progress atomic writes. Writers create temp
+// files under it; SweepTempFiles deletes leftovers after a crash.
+const AtomicTempPrefix = ".tmp-"
+
+// AtomicWriteFile commits data under dir/name with the temp + fsync +
+// rename + dir-fsync protocol. The temp file lives in dir (same
+// filesystem, so the rename is atomic) and is removed on any failure.
+func AtomicWriteFile(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, AtomicTempPrefix+name+"-")
+	if err != nil {
+		return fmt.Errorf("obs: create temp for %s: %w", name, err)
+	}
+	tmpName := tmp.Name()
+	// Any failure below removes the temp so crash sweep has less to do.
+	fail := func(step string, err error) error {
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("obs: %s %s: %w", step, name, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail("write", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail("fsync", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fail("close", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("obs: rename %s: %w", name, err)
+	}
+	// fsync the directory so the rename is durable, not just atomic.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// SweepTempFiles deletes AtomicTempPrefix leftovers in dir — writes that
+// died mid-flight whose final file was never renamed into place, garbage
+// by construction. It returns how many were removed.
+func SweepTempFiles(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("obs: sweep %s: %w", dir, err)
+	}
+	swept := 0
+	for _, ent := range entries {
+		if strings.HasPrefix(ent.Name(), AtomicTempPrefix) {
+			if os.Remove(filepath.Join(dir, ent.Name())) == nil {
+				swept++
+			}
+		}
+	}
+	return swept, nil
+}

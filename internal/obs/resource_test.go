@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// ballast defeats the optimizer so allocations inside tests are real.
+var ballast [][]byte
+
+func allocSome(n int) {
+	for i := 0; i < n; i++ {
+		ballast = append(ballast, make([]byte, 64<<10))
+	}
+	ballast = ballast[:0]
+}
+
+func TestResourceSamplerWatermarksMonotone(t *testing.T) {
+	reg := NewRegistry()
+	rs := NewResourceSampler(reg)
+	prev := rs.Watermarks()
+	for i := 0; i < 5; i++ {
+		allocSome(8)
+		rs.Sample()
+		w := rs.Watermarks()
+		if w.PeakHeapBytes < prev.PeakHeapBytes {
+			t.Fatalf("peak heap regressed: %d -> %d", prev.PeakHeapBytes, w.PeakHeapBytes)
+		}
+		if w.PeakGoroutines < prev.PeakGoroutines {
+			t.Fatalf("peak goroutines regressed: %d -> %d", prev.PeakGoroutines, w.PeakGoroutines)
+		}
+		if w.AllocBytes < prev.AllocBytes {
+			t.Fatalf("alloc bytes regressed: %d -> %d", prev.AllocBytes, w.AllocBytes)
+		}
+		prev = w
+	}
+	if prev.PeakHeapBytes == 0 || prev.PeakGoroutines == 0 {
+		t.Fatalf("watermarks not populated: %+v", prev)
+	}
+	if prev.AllocBytes == 0 {
+		t.Fatal("expected nonzero alloc delta after allocations")
+	}
+}
+
+func TestResourceSamplerLiveGauges(t *testing.T) {
+	reg := NewRegistry()
+	rs := NewResourceSampler(reg)
+	rs.Sample()
+	snap := reg.Snapshot()
+	want := map[string]bool{
+		"proc.heap.alloc.bytes":     false,
+		"proc.heap.sys.bytes":       false,
+		"proc.heap.objects":         false,
+		"proc.heap.alloc.max.bytes": false,
+		"proc.goroutines":           false,
+		"proc.gc.num":               false,
+	}
+	for _, g := range snap.Gauges {
+		if _, ok := want[g.Name]; ok {
+			want[g.Name] = true
+			if g.Value <= 0 && g.Name != "proc.gc.num" {
+				t.Errorf("gauge %s not populated: %d", g.Name, g.Value)
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("missing live gauge %s", name)
+		}
+	}
+}
+
+func TestResourceSamplerRunWindow(t *testing.T) {
+	rs := NewResourceSampler(nil)
+	stop := rs.StartRun()
+	allocSome(16)
+	rs.Sample()
+	st := stop()
+	if st.AllocBytes == 0 {
+		t.Fatal("run window recorded no allocations")
+	}
+	if st.PeakHeapBytes == 0 || st.PeakGoroutines == 0 {
+		t.Fatalf("run window peaks not populated: %+v", st)
+	}
+	if st.WallNS <= 0 {
+		t.Fatalf("run window wall time not positive: %d", st.WallNS)
+	}
+}
+
+func TestResourceSamplerOverlappingWindows(t *testing.T) {
+	rs := NewResourceSampler(nil)
+	stopA := rs.StartRun()
+	stopB := rs.StartRun()
+	allocSome(8)
+	rs.Sample()
+	a, b := stopA(), stopB()
+	// The heap is process-wide, so both windows saw the same samples.
+	if a.PeakHeapBytes == 0 || b.PeakHeapBytes == 0 {
+		t.Fatalf("overlapping windows missed peaks: a=%+v b=%+v", a, b)
+	}
+}
+
+func TestResourceSamplerNilSafe(t *testing.T) {
+	var rs *ResourceSampler
+	rs.Sample()
+	stop := rs.Start(time.Millisecond)
+	stop()
+	end := rs.StartRun()
+	if st := end(); st != (ResourceStats{}) {
+		t.Fatalf("nil sampler returned non-zero stats: %+v", st)
+	}
+	if w := rs.Watermarks(); w != (ResourceStats{}) {
+		t.Fatalf("nil sampler watermarks non-zero: %+v", w)
+	}
+}
+
+func TestResourceSamplerTicker(t *testing.T) {
+	rs := NewResourceSampler(nil)
+	stop := rs.Start(time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for rs.Watermarks().PeakHeapBytes == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("ticker never sampled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+}
+
+func TestResourceStatsString(t *testing.T) {
+	s := ResourceStats{
+		PeakHeapBytes:   2 << 20,
+		PeakGoroutines:  7,
+		AllocBytes:      1 << 20,
+		NumGC:           3,
+		GCPauseMaxNS:    1500,
+		CPUNS:           int64(20 * time.Millisecond),
+		EventsProcessed: 42,
+	}
+	out := s.String()
+	for _, want := range []string{"peak-heap=2.0MiB", "peak-goroutines=7", "gc=3", "events=42", "cpu="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() = %q, missing %q", out, want)
+		}
+	}
+	// Optional fields stay out when zero.
+	brief := ResourceStats{PeakHeapBytes: 1}.String()
+	for _, absent := range []string{"cpu=", "events=", "gc-pause-max="} {
+		if strings.Contains(brief, absent) {
+			t.Errorf("String() = %q, should omit %q", brief, absent)
+		}
+	}
+}
+
+func TestCPUDeltaNeverNegative(t *testing.T) {
+	if d := cpuDelta(1 << 62); d != 0 {
+		t.Fatalf("cpuDelta with future base = %d, want 0", d)
+	}
+}

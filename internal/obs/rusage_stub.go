@@ -1,0 +1,7 @@
+//go:build !unix
+
+package obs
+
+// processCPUNanos reports 0 on platforms without getrusage; CPU fields
+// in ResourceStats read as zero there.
+func processCPUNanos() int64 { return 0 }

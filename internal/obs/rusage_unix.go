@@ -1,0 +1,19 @@
+//go:build unix
+
+package obs
+
+import "syscall"
+
+// processCPUNanos returns cumulative process CPU time (user + system)
+// in nanoseconds via getrusage, or 0 when the syscall fails.
+func processCPUNanos() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return tvNanos(ru.Utime) + tvNanos(ru.Stime)
+}
+
+func tvNanos(tv syscall.Timeval) int64 {
+	return int64(tv.Sec)*1e9 + int64(tv.Usec)*1e3
+}

@@ -29,6 +29,12 @@ type Bundle struct {
 	HTML string `json:"html"`
 	// CSV holds the CSV sidecars ([]byte fields serialize as base64).
 	CSV []core.CSVFile `json:"csv,omitempty"`
+	// Resources is the process accounting of the execution that produced
+	// this bundle (peak heap, CPU time, events processed). It describes
+	// the one run that filled the cache entry — a provenance record, not
+	// part of the deterministic result surface — so it lives only in the
+	// manifest and the HTML Resources section, never in Report or CSV.
+	Resources *obs.ResourceStats `json:"resources,omitempty"`
 }
 
 // CSVNames lists the bundle's CSV artifact names in order.
@@ -74,8 +80,10 @@ type Cache struct {
 	entries      *obs.Gauge
 }
 
-// tmpPrefix marks in-progress writes; Open deletes leftovers.
-const tmpPrefix = ".tmp-"
+// tmpPrefix marks in-progress writes; Open deletes leftovers. It is the
+// shared obs prefix so the cache and the flight recorder speak the same
+// crash-sweep protocol.
+const tmpPrefix = obs.AtomicTempPrefix
 
 // indexName is the advisory index file flushed on drain. The directory
 // scan is authoritative on open — the index only carries hit counters
@@ -178,7 +186,7 @@ func (c *Cache) Put(b *Bundle) error {
 	if err != nil {
 		return fmt.Errorf("reprod: marshal bundle %s: %w", b.Key, err)
 	}
-	if err := atomicWrite(c.dir, b.Key+".json", data); err != nil {
+	if err := obs.AtomicWriteFile(c.dir, b.Key+".json", data); err != nil {
 		return err
 	}
 	c.mu.Lock()
@@ -187,41 +195,6 @@ func (c *Cache) Put(b *Bundle) error {
 	c.index[b.Key] = e
 	c.entries.Set(int64(len(c.index)))
 	c.mu.Unlock()
-	return nil
-}
-
-// atomicWrite is the temp + fsync + rename + dir-fsync protocol shared
-// by bundle and index writes.
-func atomicWrite(dir, name string, data []byte) error {
-	tmp, err := os.CreateTemp(dir, tmpPrefix+name+"-")
-	if err != nil {
-		return fmt.Errorf("reprod: create temp for %s: %w", name, err)
-	}
-	tmpName := tmp.Name()
-	// Any failure below removes the temp so crash sweep has less to do.
-	fail := func(step string, err error) error {
-		_ = tmp.Close()
-		_ = os.Remove(tmpName)
-		return fmt.Errorf("reprod: %s %s: %w", step, name, err)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		return fail("write", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		return fail("fsync", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fail("close", err)
-	}
-	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
-		_ = os.Remove(tmpName)
-		return fmt.Errorf("reprod: rename %s: %w", name, err)
-	}
-	// fsync the directory so the rename is durable, not just atomic.
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
-	}
 	return nil
 }
 
@@ -242,5 +215,5 @@ func (c *Cache) FlushIndex() error {
 	if err != nil {
 		return fmt.Errorf("reprod: marshal cache index: %w", err)
 	}
-	return atomicWrite(c.dir, indexName, data)
+	return obs.AtomicWriteFile(c.dir, indexName, data)
 }

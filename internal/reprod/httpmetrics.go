@@ -1,0 +1,69 @@
+package reprod
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// This file is the service's SLO instrumentation: every route is wrapped
+// so /metrics exposes, per endpoint, a request counter, an error counter
+// (5xx only — a 404 or a shed 429 is the service working as designed),
+// and a latency histogram, plus one process-wide in-flight gauge. Names
+// follow the reprod.http.<route>.* scheme documented in README.
+
+// statusWriter captures the response status for the error counter while
+// passing Flush through — the NDJSON progress stream type-asserts its
+// writer to http.Flusher, so the wrapper must not hide it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(p)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps h with the per-route SLO metrics. route is the short
+// metric label ("run", "manifest", …), not the URL pattern.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	requests := s.reg.Counter("reprod.http." + route + ".requests")
+	errors := s.reg.Counter("reprod.http." + route + ".errors")
+	latency := s.reg.Histogram("reprod.http." + route + ".ms")
+	return func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		s.httpInflight.Add(1)
+		begin := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			s.httpInflight.Add(-1)
+			latency.Observe(time.Since(begin).Milliseconds())
+			if sw.status >= 500 {
+				errors.Inc()
+			}
+		}()
+		h(sw, r)
+	}
+}
+
+// httpInflightGauge names the process-wide in-flight request gauge.
+func httpInflightGauge(reg *obs.Registry) *obs.Gauge {
+	return reg.Gauge("reprod.http.inflight")
+}

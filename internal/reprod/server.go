@@ -36,6 +36,10 @@ type Config struct {
 	ForceGrace time.Duration
 	// Registry receives the reprod.* service metrics (nil = private).
 	Registry *obs.Registry
+	// FlightDir, when non-empty, enables the crash flight recorder:
+	// runs that die by panic or deadline dump their tracer ring and
+	// resource watermarks to flightrec-<key>.json under this directory.
+	FlightDir string
 	// Lookup resolves experiment IDs (nil = core.ByID). Tests inject
 	// synthetic registries with panicking or blocking experiments.
 	Lookup func(id string) (core.Experiment, bool)
@@ -91,6 +95,14 @@ type Server struct {
 	runCtx   context.Context
 	stopRuns context.CancelFunc
 
+	// resources is the process-wide sampler behind the proc.* gauges on
+	// /metrics and the per-run windows attached to bundle manifests;
+	// flightRec receives crash dumps when Config.FlightDir is set.
+	resources     *obs.ResourceSampler
+	stopResources func()
+	flightRec     *obs.FlightRecorder
+	httpInflight  *obs.Gauge
+
 	draining atomic.Bool
 	inflight sync.WaitGroup
 
@@ -139,15 +151,29 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var flightRec *obs.FlightRecorder
+	if cfg.FlightDir != "" {
+		flightRec, err = obs.OpenFlightRecorder(cfg.FlightDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	resources := obs.NewResourceSampler(reg)
 	runCtx, stopRuns := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:      cfg,
-		reg:      reg,
-		cache:    cache,
-		adm:      NewAdmission(cfg.MaxActive, cfg.MaxQueue, reg),
-		flights:  newFlightGroup(reg),
-		runCtx:   runCtx,
-		stopRuns: stopRuns,
+		cfg:       cfg,
+		reg:       reg,
+		cache:     cache,
+		adm:       NewAdmission(cfg.MaxActive, cfg.MaxQueue, reg),
+		flights:   newFlightGroup(reg),
+		runCtx:    runCtx,
+		stopRuns:  stopRuns,
+		resources: resources,
+		// The wall ticker keeps the proc.* gauges fresh for scrapes and
+		// raises run-window peaks even mid-experiment; Drain stops it.
+		stopResources: resources.Start(resourceSampleInterval),
+		flightRec:     flightRec,
+		httpInflight:  httpInflightGauge(reg),
 
 		executed:        reg.Counter("reprod.runs.executed"),
 		panics:          reg.Counter("reprod.runs.panics"),
@@ -158,16 +184,21 @@ func New(cfg Config) (*Server, error) {
 		drainGauge:      reg.Gauge("reprod.draining"),
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /run", s.handleRun)
-	s.mux.HandleFunc("GET /runs/{key}", s.handleManifest)
-	s.mux.HandleFunc("GET /runs/{key}/report", s.handleArtifact("report"))
-	s.mux.HandleFunc("GET /runs/{key}/report.html", s.handleArtifact("html"))
-	s.mux.HandleFunc("GET /runs/{key}/csv/{name}", s.handleCSV)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
-	s.mux.Handle("GET /metrics", obs.PrometheusHandler(reg))
+	s.mux.HandleFunc("POST /run", s.instrument("run", s.handleRun))
+	s.mux.HandleFunc("GET /runs/{key}", s.instrument("manifest", s.handleManifest))
+	s.mux.HandleFunc("GET /runs/{key}/report", s.instrument("report", s.handleArtifact("report")))
+	s.mux.HandleFunc("GET /runs/{key}/report.html", s.instrument("report_html", s.handleArtifact("html")))
+	s.mux.HandleFunc("GET /runs/{key}/csv/{name}", s.instrument("csv", s.handleCSV))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
+	s.mux.Handle("GET /metrics", s.instrument("metrics", obs.PrometheusHandler(reg).ServeHTTP))
 	return s, nil
 }
+
+// resourceSampleInterval paces the server's background resource ticker.
+// Run windows also sample at their own open/close, so this only bounds
+// how stale the live gauges and mid-run peaks can get.
+const resourceSampleInterval = 5 * time.Second
 
 // Handler returns the service's HTTP surface.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -328,15 +359,26 @@ func (s *Server) execute(c *call, spec Spec, key string) {
 		Options: spec.Options(),
 		Trace:   c.tracer,
 		Collect: func(r *core.Report) { reports = append(reports, r) },
+		// The runner opens a nested window per experiment and dumps the
+		// flight record itself on panic/deadline, keyed by our cache key
+		// so the crash artifact shares the run's address.
+		Resources:      s.resources,
+		FlightRecorder: s.flightRec,
+		FlightKey:      key,
 	}
+	endRes := s.resources.StartRun()
 	runErr := runner.Run(c.ctx, []core.Experiment{exp}, &out)
+	res := endRes()
 	s.runMS.Observe(time.Since(begin).Milliseconds())
 	if runErr != nil {
 		finish(nil, s.classify(spec, runErr))
 		return
 	}
+	for _, rep := range reports {
+		res.EventsProcessed += core.EventsProcessed(rep)
+	}
 
-	bundle, err := s.buildBundle(spec, key, out.Bytes(), reports)
+	bundle, err := s.buildBundle(spec, key, out.Bytes(), reports, &res)
 	if err != nil {
 		s.failures.Inc()
 		finish(nil, &RunError{Kind: "internal", Experiment: spec.ID, Message: err.Error()})
@@ -351,9 +393,11 @@ func (s *Server) execute(c *call, spec Spec, key string) {
 }
 
 // buildBundle renders the full artifact set from the finished reports.
-func (s *Server) buildBundle(spec Spec, key string, report []byte, reports []*core.Report) (*Bundle, error) {
+// res, when non-nil, becomes the bundle's Resources provenance and the
+// HTML page's Resources section.
+func (s *Server) buildBundle(spec Spec, key string, report []byte, reports []*core.Report, res *obs.ResourceStats) (*Bundle, error) {
 	var html bytes.Buffer
-	if err := core.RenderHTMLReport(&html, reports); err != nil {
+	if err := core.RenderHTMLReportWithResources(&html, reports, res); err != nil {
 		return nil, fmt.Errorf("render html: %w", err)
 	}
 	var csvs []core.CSVFile
@@ -365,12 +409,13 @@ func (s *Server) buildBundle(spec Spec, key string, report []byte, reports []*co
 		csvs = append(csvs, files...)
 	}
 	return &Bundle{
-		Key:     key,
-		Version: s.cfg.Version,
-		Spec:    spec,
-		Report:  string(report),
-		HTML:    html.String(),
-		CSV:     csvs,
+		Key:       key,
+		Version:   s.cfg.Version,
+		Spec:      spec,
+		Report:    string(report),
+		HTML:      html.String(),
+		CSV:       csvs,
+		Resources: res,
 	}, nil
 }
 
@@ -502,13 +547,14 @@ func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	type manifest struct {
-		Key       string   `json:"key"`
-		Version   string   `json:"version"`
-		Spec      Spec     `json:"spec"`
-		Report    string   `json:"report"`
-		HTML      string   `json:"html"`
-		CSVs      []string `json:"csvs"`
-		CSVPrefix string   `json:"csv_prefix"`
+		Key       string             `json:"key"`
+		Version   string             `json:"version"`
+		Spec      Spec               `json:"spec"`
+		Report    string             `json:"report"`
+		HTML      string             `json:"html"`
+		CSVs      []string           `json:"csvs"`
+		CSVPrefix string             `json:"csv_prefix"`
+		Resources *obs.ResourceStats `json:"resources,omitempty"`
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(manifest{
@@ -519,6 +565,7 @@ func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
 		HTML:      "/runs/" + key + "/report.html",
 		CSVs:      b.CSVNames(),
 		CSVPrefix: "/runs/" + key + "/csv/",
+		Resources: b.Resources,
 	})
 }
 
@@ -585,6 +632,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 // index. It returns nil on a clean drain.
 func (s *Server) Drain(ctx context.Context) error {
 	s.setDraining()
+	s.stopResources()
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()

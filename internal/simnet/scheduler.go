@@ -69,6 +69,9 @@ type Scheduler struct {
 	mDepth    *obs.Gauge
 	mDepthMax *obs.Gauge
 	mExecuted *obs.Counter
+	mEvAlloc  *obs.Counter
+	mEvReused *obs.Counter
+	mFreeLen  *obs.Gauge
 }
 
 // NewScheduler creates a scheduler starting at epoch.
@@ -76,12 +79,19 @@ func NewScheduler(epoch time.Time) *Scheduler {
 	return &Scheduler{now: epoch}
 }
 
-// SetMetrics wires the scheduler's queue-depth gauges and executed-event
-// counter into reg (simnet.sched.* names). A nil registry detaches them.
+// SetMetrics wires the scheduler's queue-depth gauges, executed-event
+// counter, and event-volume/free-list instruments into reg
+// (simnet.sched.* names). A nil registry detaches them. The scheduler is
+// single-threaded and virtual-time, so every one of these values —
+// including the allocation/reuse split — is a pure function of the
+// seeded workload and belongs in the deterministic series.
 func (s *Scheduler) SetMetrics(reg *obs.Registry) {
 	s.mDepth = reg.Gauge("simnet.sched.depth")
 	s.mDepthMax = reg.Gauge("simnet.sched.depth.max")
 	s.mExecuted = reg.Counter("simnet.sched.executed")
+	s.mEvAlloc = reg.Counter("simnet.sched.events.alloc")
+	s.mEvReused = reg.Counter("simnet.sched.events.reused")
+	s.mFreeLen = reg.Gauge("simnet.sched.freelist.len")
 }
 
 // Now returns the current virtual time.
@@ -105,8 +115,11 @@ func (s *Scheduler) getEvent(at int64, fn func()) *event {
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
 		ev.at, ev.seq, ev.fn = at, s.seq, fn
+		s.mEvReused.Inc()
+		s.mFreeLen.Set(int64(n - 1))
 		return ev
 	}
+	s.mEvAlloc.Inc()
 	return &event{at: at, seq: s.seq, fn: fn}
 }
 
@@ -117,6 +130,7 @@ func (s *Scheduler) putEvent(ev *event) {
 	ev.fn = nil
 	if len(s.free) < maxFree {
 		s.free = append(s.free, ev)
+		s.mFreeLen.Set(int64(len(s.free)))
 	}
 }
 

@@ -7,18 +7,30 @@
 #   2. the served report is byte-identical to the reproduce CLI's stdout
 #      for the same options,
 #   3. a repeat request is a cache hit,
-#   4. SIGTERM drains cleanly (non-zero exit or a hung process fails
+#   4. a forced selftest_crash run becomes a structured 500 (kind
+#      "panic") and leaves a well-formed flight record on disk,
+#   5. a cached run's manifest carries nonzero resource provenance and
+#      the bundle HTML renders a Resources section,
+#   6. SIGTERM drains cleanly (non-zero exit or a hung process fails
 #      the drill) and flushes the cache index.
 #
 # Run from the repository root: ./scripts/service_smoke.sh
+# On failure the flight-record directory is copied to ./smoke-flightrec
+# so CI can upload it as a post-mortem artifact.
 set -euo pipefail
 
 SPEC='{"id":"fig7","quick":true,"seed":7}'
 
 tmp=$(mktemp -d)
+flight="$tmp/flightrec"
 pid=""
 cleanup() {
+  status=$?
   [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+  if [ "$status" -ne 0 ] && [ -d "$flight" ]; then
+    mkdir -p smoke-flightrec
+    cp "$flight"/flightrec-*.json smoke-flightrec/ 2>/dev/null || true
+  fi
   rm -rf "$tmp"
 }
 trap cleanup EXIT
@@ -27,7 +39,7 @@ echo "--- build"
 go build -o "$tmp/reprod" ./cmd/reprod
 
 echo "--- start"
-"$tmp/reprod" -addr 127.0.0.1:0 -cache "$tmp/cache" \
+"$tmp/reprod" -addr 127.0.0.1:0 -cache "$tmp/cache" -flightrec "$flight" \
   >"$tmp/stdout.log" 2>"$tmp/stderr.log" &
 pid=$!
 
@@ -61,9 +73,21 @@ go run ./cmd/reproduce -id fig7 -quick -seed 7 >"$tmp/cli.txt" 2>/dev/null
 cmp "$tmp/a.txt" "$tmp/cli.txt" || { echo "service report differs from CLI stdout"; exit 1; }
 
 echo "--- repeat request is a cache hit"
-hit=$(curl -fsS -D - -X POST "$base/run" -d "$SPEC" -o /dev/null |
-  tr -d '\r' | awk 'tolower($1) == "x-reprod-cache:" {print $2}')
+curl -fsS -D "$tmp/hit.hdr" -X POST "$base/run" -d "$SPEC" -o /dev/null
+hit=$(tr -d '\r' <"$tmp/hit.hdr" | awk 'tolower($1) == "x-reprod-cache:" {print $2}')
 [ "$hit" = "hit" ] || { echo "X-Reprod-Cache = '$hit', want hit"; exit 1; }
+fig7_key=$(tr -d '\r' <"$tmp/hit.hdr" | awk 'tolower($1) == "x-reprod-key:" {print $2}')
+[ -n "$fig7_key" ] || { echo "no X-Reprod-Key on the cache hit"; exit 1; }
+
+echo "--- resource provenance in the manifest and bundle HTML"
+curl -fsS "$base/runs/$fig7_key" -o "$tmp/manifest.json"
+grep -q '"peak_heap_bytes":[1-9]' "$tmp/manifest.json" ||
+  { echo "manifest lacks nonzero peak_heap_bytes"; cat "$tmp/manifest.json"; exit 1; }
+curl -fsS "$base/runs/$fig7_key/report.html" | grep -q '<h2>Resources</h2>' ||
+  { echo "bundle HTML lacks the Resources section"; exit 1; }
+# The text report (the determinism surface shared with the CLI) must
+# stay free of resource data — already pinned by the cmp against the
+# CLI above, restated here for the reader.
 
 echo "--- estimator sweep: singleflight + cache"
 EST_SPEC='{"id":"fig_est_pop","quick":true,"seed":7}'
@@ -101,6 +125,25 @@ code=$(curl -sS -o /dev/null -w '%{http_code}' -X POST "$base/run" \
   -d '{"id":"fig_interv","quick":true,"policies":"horizon-017d"}')
 [ "$code" = "400" ] || { echo "non-canonical policies got HTTP $code, want 400"; exit 1; }
 echo "two grid cells executed once each, repeats hit, non-canonical rejected"
+
+echo "--- crash drill: selftest_crash → structured 500 + flight record"
+code=$(curl -sS -o "$tmp/crash.json" -w '%{http_code}' -X POST "$base/run" \
+  -d '{"id":"selftest_crash","quick":true}')
+[ "$code" = "500" ] || { echo "selftest_crash got HTTP $code, want 500"; cat "$tmp/crash.json"; exit 1; }
+grep -q '"kind":"panic"' "$tmp/crash.json" || { echo "crash error lacks kind=panic"; cat "$tmp/crash.json"; exit 1; }
+rec=$(ls "$flight"/flightrec-*.json 2>/dev/null | head -1)
+[ -n "$rec" ] || { echo "no flight record dumped"; exit 1; }
+grep -q '"cause": "panic"' "$rec" || { echo "flight record cause is not panic"; cat "$rec"; exit 1; }
+grep -q '"peak_heap_bytes"' "$rec" || { echo "flight record lacks resource watermarks"; exit 1; }
+panics=$(curl -fsS "$base/metrics" | awk '$1 == "reprod_runs_panics" {print $2}')
+[ "$panics" = "1" ] || { echo "reprod_runs_panics = $panics, want 1"; exit 1; }
+# The crash is contained: the server still serves, per-route SLO
+# metrics are live, and the proc.* resource gauges are exported.
+curl -fsS "$base/healthz" >/dev/null
+metrics=$(curl -fsS "$base/metrics")
+echo "$metrics" | grep -q '^reprod_http_run_requests ' || { echo "missing reprod_http_run_requests"; exit 1; }
+echo "$metrics" | grep -q '^proc_heap_alloc_bytes ' || { echo "missing proc_heap_alloc_bytes"; exit 1; }
+echo "crash contained, flight record well-formed, SLO metrics live"
 
 echo "--- graceful drain on SIGTERM"
 kill -TERM "$pid"
