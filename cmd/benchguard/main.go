@@ -25,6 +25,15 @@
 // entries with b_per_op/allocs_per_op recorded; if the piped output
 // lacks -benchmem columns those gates are skipped with a notice.
 //
+// A fourth, baseline-independent gate is opted into per benchmark with
+// the repeatable -require-zero flag: the named benchmark must report
+// exactly 0 allocs/op. Unlike the baseline gates, there is no slack and
+// no way to ratchet the number up via -update — a zero-allocation
+// contract (e.g. the relay pump steady state) either holds or the build
+// fails. A -require-zero benchmark that is missing from the output, or
+// whose run lacked -benchmem columns, also fails: the contract cannot
+// be silently skipped.
+//
 // With -update the baseline file is rewritten from the observed run
 // instead of being enforced: schema v2, one entry per benchmark with its
 // owning package, and a regenerate note derived from the baseline
@@ -261,6 +270,38 @@ func compare(base map[string]*Entry, got map[string]Result, p gateParams) (probl
 	return problems, notices
 }
 
+// requireZero enforces the -require-zero contract: every named
+// benchmark must appear in the output with -benchmem columns and report
+// exactly 0 allocs/op. Names are matched with the GOMAXPROCS suffix
+// stripped, like baseline keys.
+func requireZero(names []string, got map[string]Result) (problems []string) {
+	for _, name := range names {
+		res, ok := got[name]
+		switch {
+		case !ok:
+			problems = append(problems,
+				fmt.Sprintf("%s: -require-zero but missing from bench output", name))
+		case !res.HasMem:
+			problems = append(problems,
+				fmt.Sprintf("%s: -require-zero but output lacks -benchmem columns", name))
+		case res.AllocsPerOp != 0:
+			problems = append(problems,
+				fmt.Sprintf("%s: %.0f allocs/op violates the -require-zero contract", name, res.AllocsPerOp))
+		}
+	}
+	return problems
+}
+
+// stringList is a repeatable string flag.
+type stringList []string
+
+func (l *stringList) String() string { return strings.Join(*l, ",") }
+
+func (l *stringList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
 // regenerateNote derives the baseline's regenerate command from its own
 // entries: one `go test -bench` invocation per package, each matching
 // exactly the baselined benchmark names. Because the note is computed
@@ -343,7 +384,9 @@ func run() error {
 		bTolerance   = flag.Float64("b-tolerance", 0.10, "allowed fractional B/op growth before failing (with a 64-byte absolute floor)")
 		allocSlack   = flag.Float64("alloc-slack", 0, "allowed absolute allocs/op growth before failing")
 		update       = flag.Bool("update", false, "rewrite the baseline from this run instead of enforcing it")
+		zeroAlloc    stringList
 	)
+	flag.Var(&zeroAlloc, "require-zero", "benchmark that must report 0 allocs/op regardless of baseline (repeatable)")
 	flag.Parse()
 
 	got, err := parseBench(os.Stdin)
@@ -352,6 +395,16 @@ func run() error {
 	}
 	if len(got) == 0 {
 		return fmt.Errorf("no benchmark results on stdin (pipe `go test -bench` output in)")
+	}
+
+	// The zero-allocation contract is baseline-independent, so it is
+	// enforced even under -update: a violating run must not be baked
+	// into a new baseline.
+	if zeroProblems := requireZero(zeroAlloc, got); len(zeroProblems) > 0 {
+		for _, p := range zeroProblems {
+			fmt.Fprintln(os.Stderr, "benchguard: FAIL:", p)
+		}
+		return fmt.Errorf("%d zero-allocation contract violation(s)", len(zeroProblems))
 	}
 
 	if *update {

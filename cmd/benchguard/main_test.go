@@ -155,6 +155,34 @@ func TestCompareSkipsMemGatesWithoutBenchmem(t *testing.T) {
 	}
 }
 
+func TestRequireZero(t *testing.T) {
+	got := map[string]Result{
+		"BenchmarkClean": {NsPerOp: 100, BPerOp: 0, AllocsPerOp: 0, HasMem: true},
+		"BenchmarkDirty": {NsPerOp: 100, BPerOp: 48, AllocsPerOp: 3, HasMem: true},
+		"BenchmarkNoMem": {NsPerOp: 100},
+	}
+	if p := requireZero(nil, got); len(p) != 0 {
+		t.Fatalf("no -require-zero flags should check nothing: %v", p)
+	}
+	if p := requireZero([]string{"BenchmarkClean"}, got); len(p) != 0 {
+		t.Fatalf("0 allocs/op should satisfy the contract: %v", p)
+	}
+	p := requireZero([]string{"BenchmarkClean", "BenchmarkDirty", "BenchmarkNoMem", "BenchmarkAbsent"}, got)
+	if len(p) != 3 {
+		t.Fatalf("want 3 violations (allocs, no -benchmem, missing), got: %v", p)
+	}
+	for i, want := range []string{"BenchmarkDirty", "BenchmarkNoMem", "BenchmarkAbsent"} {
+		if !strings.Contains(p[i], want) {
+			t.Errorf("problem %d = %q, want it to name %s", i, p[i], want)
+		}
+	}
+	// Even a zero-alloc benchmark fails if the run omitted -benchmem:
+	// the contract must be verified, not assumed.
+	if p := requireZero([]string{"BenchmarkNoMem"}, got); len(p) != 1 || !strings.Contains(p[0], "-benchmem") {
+		t.Fatalf("missing -benchmem columns must fail -require-zero: %v", p)
+	}
+}
+
 func TestMigrateV1Baseline(t *testing.T) {
 	raw := `{"note":"old","ns_per_op":{"BenchmarkA":12.5,"BenchmarkB":300}}`
 	var b Baseline

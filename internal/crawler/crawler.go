@@ -40,10 +40,26 @@ type Session interface {
 	// Remote returns the peer's address.
 	Remote() netip.AddrPort
 	// GetAddr performs one GETADDR→ADDR exchange and returns the
-	// received addresses.
+	// received addresses. The returned slice may be the session's reused
+	// decode buffer: it is valid only until the next GetAddr or Close
+	// call, and callers that retain addresses across calls must copy
+	// what they keep (drainNode consumes each page before the next).
 	GetAddr() ([]wire.NetAddress, error)
 	// Close releases the session.
 	Close() error
+}
+
+// SessionWithIDs is an optional Session extension for backends whose
+// address space is interned in the same addridx.Index the crawler was
+// configured with: GetAddrIDs returns the page's dense StationIDs
+// alongside the addresses (None for out-of-index entries), saving the
+// crawler one index hash lookup per received address — the single
+// hottest operation of a popsim crawl. Both slices follow GetAddr's
+// borrowed-buffer contract. The crawler uses this path only when
+// Config.Index is set; a backend must implement it only if the IDs it
+// returns are dense in that same index.
+type SessionWithIDs interface {
+	GetAddrIDs() ([]wire.NetAddress, []addridx.ID, error)
 }
 
 // Dialer opens crawl sessions. Dial must be safe for concurrent use:
@@ -271,19 +287,24 @@ func (v *knownView) contains(addr netip.AddrPort, id addridx.ID) bool {
 	return ok
 }
 
-// memberSet is a mutable membership set over addresses: a dense bitset
-// for interned addresses, a map overlay for the rest (always empty
-// under popsim, where the whole universe is interned).
+// memberSet is a mutable membership set over addresses: an
+// epoch-versioned dense array for interned addresses, a map overlay for
+// the rest (always empty under popsim, where the whole universe is
+// interned). Epoch versioning makes clear O(1) — the per-target "seen"
+// set is cleared once per crawled node, and a full memset of an
+// index-sized bitset per node was a measurable slice of crawl CPU.
 type memberSet struct {
-	idx  *addridx.Index
-	bits *addridx.Set
-	rest map[netip.AddrPort]struct{}
+	idx    *addridx.Index
+	epochs []uint32 // epochs[id] == epoch ⇔ id is a member
+	epoch  uint32
+	rest   map[netip.AddrPort]struct{}
 }
 
 func newMemberSet(idx *addridx.Index) *memberSet {
-	m := &memberSet{idx: idx}
+	m := &memberSet{epoch: 1}
+	m.idx = idx
 	if idx != nil {
-		m.bits = addridx.NewSet(idx.Len())
+		m.epochs = make([]uint32, idx.Len())
 	}
 	return m
 }
@@ -304,7 +325,11 @@ func (m *memberSet) resolve(addr netip.AddrPort) addridx.ID {
 // was newly added.
 func (m *memberSet) add(addr netip.AddrPort, id addridx.ID) bool {
 	if id != addridx.None {
-		return m.bits.Add(id)
+		if m.epochs[id] == m.epoch {
+			return false
+		}
+		m.epochs[id] = m.epoch
+		return true
 	}
 	if m.rest == nil {
 		m.rest = make(map[netip.AddrPort]struct{})
@@ -317,8 +342,11 @@ func (m *memberSet) add(addr netip.AddrPort, id addridx.ID) bool {
 }
 
 func (m *memberSet) clear() {
-	if m.bits != nil {
-		m.bits.Clear()
+	m.epoch++
+	if m.epoch == 0 {
+		// Epoch wrapped: pay the one-in-four-billion full reset.
+		clear(m.epochs)
+		m.epoch = 1
 	}
 	clear(m.rest)
 }
@@ -330,11 +358,28 @@ func (m *memberSet) clear() {
 // slots is released while later targets are still crawling.
 type crawlJob struct {
 	report         *NodeReport // nil when the target was skipped (MaxNodes)
-	unreachable    []netip.AddrPort
-	unreachableIDs []addridx.ID
-	exchanges      []Exchange // captured only when Config.Observer != nil
-	done           chan struct{}
+	unreachable    []netip.AddrPort // exact-size, nil when none
+	unreachableIDs []addridx.ID     // parallel to unreachable
+	exchanges      []Exchange       // captured only when Config.Observer != nil
 }
+
+// drainBufs is an unreachable-accumulation arena: drainNode appends one
+// target's entries, and the job keeps a capped three-index view of its
+// own range instead of a copy. The arena is never truncated while a
+// crawl runs — later appends either land past every view or move to a
+// fresh backing array, leaving old views intact either way — so each
+// worker pays amortized-nothing per target. The Get/Put pair lives
+// entirely inside the worker body: recycling must not depend on the
+// merge goroutine keeping pace, which on few cores it does not.
+type drainBufs struct {
+	addrs []netip.AddrPort
+	ids   []addridx.ID
+}
+
+// drainBufsPool recycles arenas across crawls. Arenas enter it only
+// from Crawl's success path, truncated, after the snapshot is built and
+// every job view into them is dead.
+var drainBufsPool sync.Pool
 
 // Crawl runs Algorithm 1 against every address in targets: connect, issue
 // GETADDR until a response adds nothing new, classify each collected
@@ -358,23 +403,41 @@ func (c *Crawler) Crawl(ctx context.Context, at time.Time, targets []netip.AddrP
 
 	known := newKnownView(c.cfg.Index, knownReachable)
 	jobs := make([]crawlJob, len(targets))
-	for i := range jobs {
-		jobs[i].done = make(chan struct{})
-	}
+	// Completion is a flag per job plus one shared wake-up token, not a
+	// channel per job: after every flag store a token is pending (the
+	// one-slot send either succeeds or finds one already there), and the
+	// merge loop re-checks its flag after every token, so no wake-up is
+	// ever lost.
+	jobDone := make([]atomic.Bool, len(targets))
+	notify := make(chan struct{}, 1)
 	scratch := sync.Pool{New: func() any { return newMemberSet(c.cfg.Index) }}
+	var bufPool sync.Pool // *drainBufs, recycled by the merge loop
 	var connected atomic.Int64 // MaxNodes accounting; workers == 1 then
 
 	forEachErr := make(chan error, 1)
 	go func() {
 		forEachErr <- par.ForEach(ctx, workers, len(targets), func(ctx context.Context, i int) error {
-			defer close(jobs[i].done)
+			defer func() {
+				jobDone[i].Store(true)
+				select {
+				case notify <- struct{}{}:
+				default:
+				}
+			}()
 			if c.cfg.MaxNodes > 0 && int(connected.Load()) >= c.cfg.MaxNodes {
 				return nil // skipped: report stays nil
 			}
 			seen := scratch.Get().(*memberSet)
-			c.crawlTarget(targets[i], known, seen, &jobs[i])
+			bufs, _ := bufPool.Get().(*drainBufs)
+			if bufs == nil {
+				if bufs, _ = drainBufsPool.Get().(*drainBufs); bufs == nil {
+					bufs = &drainBufs{}
+				}
+			}
+			c.crawlTarget(targets[i], known, seen, &jobs[i], bufs)
 			seen.clear()
 			scratch.Put(seen)
+			bufPool.Put(bufs)
 			if jobs[i].report.Connected {
 				connected.Add(1)
 			}
@@ -383,9 +446,11 @@ func (c *Crawler) Crawl(ctx context.Context, at time.Time, targets []netip.AddrP
 		})
 	}()
 
-	// Merge loop: fold per-target results into the snapshot in target
-	// order, releasing each job's slices as it lands. Jobs skipped after
-	// a cancellation never close done, so the merge also watches ctx.
+	// Merge, phase one: fold per-target reports into the snapshot in
+	// target order as they complete. Jobs skipped after a cancellation
+	// never flag done, so the merge also watches ctx. The per-job
+	// unreachable slices are left in place for phase two, which sizes the
+	// aggregate exactly.
 	snap := &Snapshot{
 		Time:    at,
 		Reports: make(map[netip.AddrPort]*NodeReport, len(targets)),
@@ -393,10 +458,12 @@ func (c *Crawler) Crawl(ctx context.Context, at time.Time, targets []netip.AddrP
 	global := newMemberSet(c.cfg.Index)
 	mergeErr := func() error {
 		for i := range jobs {
-			select {
-			case <-jobs[i].done:
-			case <-ctx.Done():
-				return ctx.Err()
+			for !jobDone[i].Load() {
+				select {
+				case <-notify:
+				case <-ctx.Done():
+					return ctx.Err()
+				}
 			}
 			rep := jobs[i].report
 			if rep == nil {
@@ -407,8 +474,16 @@ func (c *Crawler) Crawl(ctx context.Context, at time.Time, targets []netip.AddrP
 			if !rep.Connected {
 				continue
 			}
+			if snap.Connected == nil {
+				// Connected is bounded by the target count: reserve it
+				// whole rather than paying append's growth churn.
+				snap.Connected = make([]netip.AddrPort, 0, len(targets))
+			}
 			snap.Connected = append(snap.Connected, rep.Addr)
 			if c.cfg.Index != nil {
+				if snap.ConnectedIDs == nil {
+					snap.ConnectedIDs = make([]addridx.ID, 0, len(targets))
+				}
 				snap.ConnectedIDs = append(snap.ConnectedIDs, global.resolve(rep.Addr))
 			}
 			if c.cfg.Observer != nil {
@@ -421,18 +496,8 @@ func (c *Crawler) Crawl(ctx context.Context, at time.Time, targets []netip.AddrP
 					ex.SourceID = srcID
 					c.cfg.Observer(ex)
 				}
+				jobs[i].exchanges = nil
 			}
-			for k, a := range jobs[i].unreachable {
-				id := jobs[i].unreachableIDs[k]
-				if !global.add(a, id) {
-					continue
-				}
-				snap.Unreachable = append(snap.Unreachable, a)
-				if c.cfg.Index != nil {
-					snap.UnreachableIDs = append(snap.UnreachableIDs, id)
-				}
-			}
-			jobs[i] = crawlJob{} // release merged slices early
 		}
 		return nil
 	}()
@@ -442,13 +507,59 @@ func (c *Crawler) Crawl(ctx context.Context, at time.Time, targets []netip.AddrP
 	if mergeErr != nil {
 		return nil, mergeErr
 	}
+	// Merge, phase two: aggregate the unreachable sets. Every job is
+	// complete now, so a counting pass sizes the aggregate exactly and the
+	// fill pass allocates it once — incremental appending paid for the
+	// accumulated set again and again in growth copies. The membership set
+	// is cleared between the passes; both replay the identical add
+	// sequence, so first-seen order is preserved.
+	total := 0
+	for i := range jobs {
+		for k, a := range jobs[i].unreachable {
+			if global.add(a, jobs[i].unreachableIDs[k]) {
+				total++
+			}
+		}
+	}
+	global.clear()
+	if total > 0 {
+		snap.Unreachable = make([]netip.AddrPort, 0, total)
+		if c.cfg.Index != nil {
+			snap.UnreachableIDs = make([]addridx.ID, 0, total)
+		}
+	}
+	for i := range jobs {
+		for k, a := range jobs[i].unreachable {
+			id := jobs[i].unreachableIDs[k]
+			if !global.add(a, id) {
+				continue
+			}
+			snap.Unreachable = append(snap.Unreachable, a)
+			if c.cfg.Index != nil {
+				snap.UnreachableIDs = append(snap.UnreachableIDs, id)
+			}
+		}
+		jobs[i] = crawlJob{}
+	}
+	// Every view into the arenas is dead now: truncate them and hand them
+	// to the cross-crawl pool so the next crawl starts at full capacity.
+	for {
+		bufs, _ := bufPool.Get().(*drainBufs)
+		if bufs == nil {
+			break
+		}
+		bufs.addrs = bufs.addrs[:0]
+		bufs.ids = bufs.ids[:0]
+		drainBufsPool.Put(bufs)
+	}
 	c.mPending.Set(0)
 	return snap, nil
 }
 
-// crawlTarget dials one target and drains it into its private job slot.
+// crawlTarget dials one target and drains it into its private job slot,
+// accumulating through the worker's reusable bufs.
 func (c *Crawler) crawlTarget(target netip.AddrPort, known *knownView,
-	seen *memberSet, job *crawlJob) {
+	seen *memberSet, job *crawlJob, bufs *drainBufs) {
 	c.mDials.Inc()
 	job.report = &NodeReport{Addr: target}
 	sess, err := c.dialer.Dial(target)
@@ -457,7 +568,14 @@ func (c *Crawler) crawlTarget(target netip.AddrPort, known *knownView,
 	}
 	job.report.Connected = true
 	c.mConnected.Inc()
-	c.drainNode(sess, known, seen, job)
+	lo := len(bufs.addrs)
+	c.drainNode(sess, known, seen, bufs, job)
+	if hi := len(bufs.addrs); hi > lo {
+		// The job's record is a capped view of its arena range: no copy,
+		// and no way for later appends to touch it.
+		job.unreachable = bufs.addrs[lo:hi:hi]
+		job.unreachableIDs = bufs.ids[lo:hi:hi]
+	}
 	if err := sess.Close(); err != nil {
 		// Teardown failed after a successful drain: record it on the
 		// report and keep the snapshot.
@@ -465,11 +583,26 @@ func (c *Crawler) crawlTarget(target netip.AddrPort, known *knownView,
 	}
 }
 
-// drainNode implements the Algorithm 1 inner loop for one node.
-func (c *Crawler) drainNode(sess Session, known *knownView, seen *memberSet, job *crawlJob) {
+// drainNode implements the Algorithm 1 inner loop for one node,
+// appending the node's unreachable addresses to bufs.
+func (c *Crawler) drainNode(sess Session, known *knownView, seen *memberSet,
+	bufs *drainBufs, job *crawlJob) {
 	report := job.report
+	// Sessions that know their addresses' dense IDs save the per-address
+	// index lookup; the IDs are only meaningful against Config.Index.
+	var idSess SessionWithIDs
+	if c.cfg.Index != nil {
+		idSess, _ = sess.(SessionWithIDs)
+	}
 	for round := 0; round < c.cfg.MaxGetAddrRounds; round++ {
-		addrs, err := sess.GetAddr()
+		var addrs []wire.NetAddress
+		var ids []addridx.ID
+		var err error
+		if idSess != nil {
+			addrs, ids, err = idSess.GetAddrIDs()
+		} else {
+			addrs, err = sess.GetAddr()
+		}
 		if err != nil {
 			return
 		}
@@ -486,8 +619,13 @@ func (c *Crawler) drainNode(sess Session, known *knownView, seen *memberSet, job
 			})
 		}
 		fresh := 0
-		for _, na := range addrs {
-			id := seen.resolve(na.Addr)
+		for k, na := range addrs {
+			var id addridx.ID
+			if ids != nil {
+				id = ids[k]
+			} else {
+				id = seen.resolve(na.Addr)
+			}
 			if !seen.add(na.Addr, id) {
 				continue
 			}
@@ -503,8 +641,8 @@ func (c *Crawler) drainNode(sess Session, known *knownView, seen *memberSet, job
 			} else {
 				report.UnreachableSent++
 				c.mAddrsUnreach.Inc()
-				job.unreachable = append(job.unreachable, na.Addr)
-				job.unreachableIDs = append(job.unreachableIDs, id)
+				bufs.addrs = append(bufs.addrs, na.Addr)
+				bufs.ids = append(bufs.ids, id)
 			}
 		}
 		// Algorithm 1 termination: a response with no new addresses

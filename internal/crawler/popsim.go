@@ -1,11 +1,13 @@
 package crawler
 
 import (
-	"fmt"
+	"errors"
 	"math/rand/v2"
 	"net/netip"
+	"sync"
 	"time"
 
+	"repro/internal/addridx"
 	"repro/internal/netgen"
 	"repro/internal/wire"
 )
@@ -57,30 +59,49 @@ func (v *UniverseView) VisibleCount() int { return len(v.visible) }
 // Universe returns the backing universe.
 func (v *UniverseView) Universe() *netgen.Universe { return v.u }
 
+// popSessPool recycles sessions — and, through them, the book and ID
+// buffers they carry — across dials. A session returns to the pool on
+// Close; the borrowed-buffer contract on Session.GetAddr (responses are
+// invalid after Close) is what makes that sound.
+var popSessPool = sync.Pool{
+	New: func() any {
+		s := &popSession{}
+		s.rnd = rand.New(&s.pcg)
+		return s
+	},
+}
+
 // Dial implements Dialer: the target must be a reachable station that is
 // online at the frozen instant, and even then dials fail with probability
-// 1−ConnectSuccessRate (stale listings, full inbound slots).
+// 1−ConnectSuccessRate (stale listings, full inbound slots). Failures
+// return shared sentinel errors: a popsim crawl sees thousands of failed
+// dials per experiment, and per-failure error wrapping was measurable
+// crawl-path garbage.
 func (v *UniverseView) Dial(addr netip.AddrPort) (Session, error) {
 	st := v.u.ByAddr(addr)
 	if st == nil {
-		return nil, fmt.Errorf("popsim: dial %v: %w", addr, errDialTimeout)
+		return nil, errDialTimeout
 	}
 	if st.Class != netgen.ClassReachable {
-		return nil, fmt.Errorf("popsim: dial %v: %w", addr, errDialRefused)
+		return nil, errDialRefused
 	}
 	if !st.OnlineAt(v.at) {
-		return nil, fmt.Errorf("popsim: dial %v: %w", addr, errDialTimeout)
+		return nil, errDialTimeout
 	}
-	rng := netgen.StationRand(v.u.Params.Seed, v.at, st.ID)
-	if rng.Float64() >= v.u.Params.ConnectSuccessRate {
-		return nil, fmt.Errorf("popsim: dial %v: %w", addr, errDialRefused)
+	s := popSessPool.Get().(*popSession)
+	s.pcg.Seed(netgen.StationSeed(v.u.Params.Seed, v.at, st.ID))
+	if s.rnd.Float64() >= v.u.Params.ConnectSuccessRate {
+		popSessPool.Put(s)
+		return nil, errDialRefused
 	}
-	book := v.u.AddrBookFrom(st, v.at, v.online, v.visible)
-	return &popSession{
-		remote: addr,
-		book:   book,
-		rng:    rng,
-	}, nil
+	s.remote = addr
+	s.cursor = 0
+	s.closed = false
+	if s.ids == nil {
+		s.ids = make([]addridx.ID, 0, 64)
+	}
+	s.book, s.ids = v.u.CachedAddrBook(s.book[:0], s.ids[:0], st, v.at, v.online, v.visible)
+	return s, nil
 }
 
 // Probe implements Prober using the station classes.
@@ -107,8 +128,9 @@ func (v *UniverseView) Probe(addr netip.AddrPort) (ProbeOutcome, error) {
 
 // Dial failure sentinels (internal; callers only need the error).
 var (
-	errDialTimeout = fmt.Errorf("dial timeout")
-	errDialRefused = fmt.Errorf("connection refused")
+	errDialTimeout = errors.New("dial timeout")
+	errDialRefused = errors.New("connection refused")
+	errSessClosed  = errors.New("popsim: session closed")
 )
 
 // popSession pages through a station's address book. Bitcoin Core
@@ -118,28 +140,55 @@ var (
 // termination semantics while keeping each crawl linear in the book size
 // — the with-replacement original needs Θ(n log n) transfers per node,
 // which matters at the study's 8,270-nodes × 60-experiments scale.
+//
+// The session embeds its PCG so dialing reseeds in place, and the book
+// carries a parallel dense-ID slice (ids[i] is book[i]'s StationID) that
+// backs the GetAddrIDs fast path.
 type popSession struct {
 	remote netip.AddrPort
 	book   []wire.NetAddress
+	ids    []addridx.ID
 	cursor int
-	rng    *rand.Rand
+	pcg    rand.PCG
+	rnd    *rand.Rand
 	closed bool
 }
 
-var _ Session = (*popSession)(nil)
+var (
+	_ Session        = (*popSession)(nil)
+	_ SessionWithIDs = (*popSession)(nil)
+)
 
 // Remote implements Session.
 func (s *popSession) Remote() netip.AddrPort { return s.remote }
 
 // GetAddr implements Session.
 func (s *popSession) GetAddr() ([]wire.NetAddress, error) {
+	addrs, _, err := s.page()
+	return addrs, err
+}
+
+// GetAddrIDs implements SessionWithIDs: popsim books are sampled from an
+// interned universe, so every entry's dense ID is known at sampling time.
+func (s *popSession) GetAddrIDs() ([]wire.NetAddress, []addridx.ID, error) {
+	return s.page()
+}
+
+// page serves the next GETADDR response: a book slice and the parallel
+// ID slice, both borrowed until the next call or Close.
+func (s *popSession) page() ([]wire.NetAddress, []addridx.ID, error) {
 	if s.closed {
-		return nil, fmt.Errorf("popsim: session to %v closed", s.remote)
+		return nil, nil, errSessClosed
 	}
 	if s.cursor == 0 {
-		s.rng.Shuffle(len(s.book), func(i, j int) {
+		// Inline Fisher–Yates, drawing exactly like rand.Shuffle (IntN of
+		// i+1, descending): the closure-free loop keeps the swap of the
+		// 64-byte entries and their parallel IDs out of a callback.
+		for i := len(s.book) - 1; i > 0; i-- {
+			j := s.rnd.IntN(i + 1)
 			s.book[i], s.book[j] = s.book[j], s.book[i]
-		})
+			s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+		}
 	}
 	page := len(s.book) * 23 / 100
 	if page > wire.MaxAddrPerMsg {
@@ -151,20 +200,26 @@ func (s *popSession) GetAddr() ([]wire.NetAddress, error) {
 	if s.cursor >= len(s.book) {
 		// Tables drained: repeat already-served addresses, which is what
 		// terminates Algorithm 1.
-		return s.book[:min(page, len(s.book))], nil
+		n := min(page, len(s.book))
+		return s.book[:n], s.ids[:n], nil
 	}
 	end := s.cursor + page
 	if end > len(s.book) {
 		end = len(s.book)
 	}
-	out := s.book[s.cursor:end]
+	addrs, ids := s.book[s.cursor:end], s.ids[s.cursor:end]
 	s.cursor = end
-	return out, nil
+	return addrs, ids, nil
 }
 
-// Close implements Session.
+// Close implements Session and recycles the session. Closing invalidates
+// every slice previous GetAddr calls returned.
 func (s *popSession) Close() error {
+	if s.closed {
+		return nil
+	}
 	s.closed = true
+	popSessPool.Put(s)
 	return nil
 }
 

@@ -2,6 +2,7 @@ package netgen
 
 import (
 	"math/rand/v2"
+	"sync"
 	"time"
 
 	"repro/internal/addridx"
@@ -40,9 +41,24 @@ func (u *Universe) AddrBook(s *Station, t time.Time) []wire.NetAddress {
 // crawl over thousands of stations scans the universe once per
 // experiment rather than once per station.
 func (u *Universe) AddrBookFrom(s *Station, t time.Time, online, visible []*Station) []wire.NetAddress {
+	book, _ := u.AppendAddrBook(nil, nil, s, t, online, visible)
+	return book
+}
+
+// AppendAddrBook appends station s's address book at t to addrs and
+// returns the extended slice, sampling exactly as AddrBookFrom but
+// reusing the caller's capacity — the crawl hot path keeps one book
+// buffer per pooled session instead of allocating ~BookSize entries per
+// dial. When ids is non-nil, the dense StationID of every appended entry
+// is appended to it in parallel (the self entry carries s.ID), which
+// lets crawl consumers skip the per-address index hash lookup; a nil ids
+// skips ID tracking and returns nil.
+func (u *Universe) AppendAddrBook(addrs []wire.NetAddress, ids []addridx.ID,
+	s *Station, t time.Time, online, visible []*Station) ([]wire.NetAddress, []addridx.ID) {
 	p := u.Params
 	crawlIdx := int64(t.Sub(p.Epoch) / p.CrawlInterval)
 	rng := bookRand(p.Seed, crawlIdx, s.ID)
+	wantIDs := ids != nil
 
 	if s.Malicious {
 		experiments := int(p.Horizon / p.CrawlInterval)
@@ -53,29 +69,89 @@ func (u *Universe) AddrBookFrom(s *Station, t time.Time, online, visible []*Stat
 		if per < 1 {
 			per = 1
 		}
-		book := make([]wire.NetAddress, 0, per)
+		if addrs == nil {
+			addrs = make([]wire.NetAddress, 0, per)
+		}
 		for i := 0; i < per && len(visible) > 0; i++ {
 			target := visible[rng.IntN(len(visible))]
-			book = append(book, u.NetAddr(target, t, rng))
+			addrs = append(addrs, u.NetAddr(target, t, rng))
+			if wantIDs {
+				ids = append(ids, target.ID)
+			}
 		}
-		return book
+		return addrs, ids
 	}
 
 	size := p.scaled(p.BookSize)
 	if size < 2 {
 		size = 2
 	}
-	book := make([]wire.NetAddress, 0, size+1)
+	if addrs == nil {
+		addrs = make([]wire.NetAddress, 0, size+1)
+	}
 	self := wire.NetAddress{Addr: s.Addr, Services: wire.SFNodeNetwork, Timestamp: t}
-	book = append(book, self)
+	addrs = append(addrs, self)
+	if wantIDs {
+		ids = append(ids, s.ID)
+	}
 	for i := 0; i < size; i++ {
+		var target *Station
 		if rng.Float64() < p.AddrReachableShare && len(online) > 0 {
-			book = append(book, u.NetAddr(online[rng.IntN(len(online))], t, rng))
+			target = online[rng.IntN(len(online))]
 		} else if len(visible) > 0 {
-			book = append(book, u.NetAddr(visible[rng.IntN(len(visible))], t, rng))
+			target = visible[rng.IntN(len(visible))]
+		} else {
+			continue
+		}
+		addrs = append(addrs, u.NetAddr(target, t, rng))
+		if wantIDs {
+			ids = append(ids, target.ID)
 		}
 	}
-	return book
+	return addrs, ids
+}
+
+// bookCache memoizes sampled address books for one instant. Book
+// content is a pure function of (station, instant, candidate pools), so
+// workloads that revisit an instant — repeated experiments over one
+// frozen universe view, the intervention grid's per-policy crawls, a
+// benchmark loop — can skip resampling entirely. Like instantPools, the
+// cache holds a single instant and drops wholesale when a new instant is
+// queried, bounding it to one crawl's worth of dialed books.
+type bookCache struct {
+	mu    sync.Mutex
+	at    time.Time
+	ok    bool
+	books map[addridx.ID]cachedBook
+}
+
+type cachedBook struct {
+	addrs []wire.NetAddress
+	ids   []addridx.ID
+}
+
+// CachedAddrBook returns station s's address book at t copied into the
+// caller's buffers (appended; both may be nil), serving from the
+// universe's per-instant book cache and sampling on a miss. The copy is
+// what keeps the cache sound: sessions shuffle and page their books in
+// place, so they must own their bytes.
+func (u *Universe) CachedAddrBook(addrs []wire.NetAddress, ids []addridx.ID,
+	s *Station, t time.Time, online, visible []*Station) ([]wire.NetAddress, []addridx.ID) {
+	u.bookMemo.mu.Lock()
+	if !u.bookMemo.ok || !u.bookMemo.at.Equal(t) {
+		u.bookMemo.at, u.bookMemo.ok = t, true
+		u.bookMemo.books = make(map[addridx.ID]cachedBook)
+	}
+	cb, hit := u.bookMemo.books[s.ID]
+	if !hit {
+		a, i := u.AppendAddrBook(nil, make([]addridx.ID, 0, 8), s, t, online, visible)
+		cb = cachedBook{addrs: a, ids: i}
+		u.bookMemo.books[s.ID] = cb
+	}
+	u.bookMemo.mu.Unlock()
+	// Cached entries are immutable once inserted; copying outside the
+	// lock is safe.
+	return append(addrs, cb.addrs...), append(ids, cb.ids...)
 }
 
 // SeedView is the crawl bootstrap picture at one instant: the two seed

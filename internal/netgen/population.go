@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"net/netip"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/addridx"
@@ -169,6 +170,25 @@ type Universe struct {
 
 	stations []*Station // by dense ID
 	rng      *rand.Rand
+
+	pools    instantPools // memoized per-instant candidate pools
+	bookMemo bookCache    // memoized per-instant address books
+}
+
+// instantPools memoizes the candidate pools of the most recently queried
+// instant. A crawl experiment freezes one instant and then asks for the
+// same pools once per view (and once per AddrBook in the slow path), so
+// remembering the last answer turns the repeated full-population scans
+// into pointer returns. The cached slices are allocated exactly (no
+// spare capacity) and never mutated afterwards, so handing the same
+// slice to multiple callers is safe: callers treat the pools as
+// read-only, and an append by any caller reallocates.
+type instantPools struct {
+	mu      sync.Mutex
+	at      time.Time
+	ok      bool
+	online  []*Station
+	visible []*Station
 }
 
 // Generate builds the universe from p.
@@ -591,24 +611,62 @@ func (u *Universe) assignMalicious() {
 	}
 }
 
-// OnlineReachable returns the reachable stations online at t.
+// OnlineReachable returns the reachable stations online at t. The
+// returned slice is shared with other callers asking about the same
+// instant and must be treated as read-only.
 func (u *Universe) OnlineReachable(t time.Time) []*Station {
-	var out []*Station
-	for _, s := range u.Reachable {
-		if s.OnlineAt(t) {
-			out = append(out, s)
-		}
-	}
-	return out
+	online, _ := u.poolsAt(t)
+	return online
 }
 
-// VisibleUnreachable returns the unreachable stations gossiped at t.
+// VisibleUnreachable returns the unreachable stations gossiped at t,
+// under the same shared read-only contract as OnlineReachable.
 func (u *Universe) VisibleUnreachable(t time.Time) []*Station {
-	var out []*Station
-	for _, s := range u.Unreachable {
-		if s.VisibleAt(t) {
-			out = append(out, s)
+	_, visible := u.poolsAt(t)
+	return visible
+}
+
+// poolsAt returns both candidate pools for instant t, computing and
+// memoizing them on first request. The memo holds one instant only; a
+// series sweep computes each instant once and never revisits, while
+// repeated experiments at one instant (and the online+visible pair every
+// caller wants together) hit the cache. Cached slices are exact-sized
+// fresh allocations, so a superseded instant's slices stay valid in the
+// hands of whoever holds them.
+func (u *Universe) poolsAt(t time.Time) (online, visible []*Station) {
+	u.pools.mu.Lock()
+	defer u.pools.mu.Unlock()
+	if u.pools.ok && u.pools.at.Equal(t) {
+		return u.pools.online, u.pools.visible
+	}
+	nOnline, nVisible := 0, 0
+	for _, s := range u.Reachable {
+		if s.OnlineAt(t) {
+			nOnline++
 		}
 	}
-	return out
+	for _, s := range u.Unreachable {
+		if s.VisibleAt(t) {
+			nVisible++
+		}
+	}
+	if nOnline > 0 {
+		online = make([]*Station, 0, nOnline)
+	}
+	if nVisible > 0 {
+		visible = make([]*Station, 0, nVisible)
+	}
+	for _, s := range u.Reachable {
+		if s.OnlineAt(t) {
+			online = append(online, s)
+		}
+	}
+	for _, s := range u.Unreachable {
+		if s.VisibleAt(t) {
+			visible = append(visible, s)
+		}
+	}
+	u.pools.at, u.pools.ok = t, true
+	u.pools.online, u.pools.visible = online, visible
+	return online, visible
 }

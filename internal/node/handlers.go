@@ -22,7 +22,9 @@ func (n *Node) handleMessage(p *Peer, msg wire.Message) {
 	case *wire.MsgVerAck:
 		n.handleVerAck(p)
 	case *wire.MsgPing:
-		n.queueMsg(p, &wire.MsgPong{Nonce: m.Nonce}, classControl)
+		pong := n.getPong()
+		pong.Nonce = m.Nonce
+		n.queueMsg(p, pong, classControl)
 	case *wire.MsgPong:
 		n.handlePong(p, m)
 	case *wire.MsgGetAddr:
@@ -313,14 +315,13 @@ func (n *Node) SubmitTx(tx *wire.MsgTx) chainhash.Hash {
 // announceTx queues a transaction INV to every handshook peer that does
 // not already know it.
 func (n *Node) announceTx(h chainhash.Hash, except ConnID, recvAt time.Time) {
-	for _, id := range n.rrOrder {
-		p := n.peers[id]
+	for _, p := range n.slots {
 		if p == nil || !p.handshook || p.id == except || p.knows(h) {
 			continue
 		}
 		p.markKnown(h)
-		inv := &wire.MsgInv{}
-		inv.InvList = []wire.InvVect{{Type: wire.InvTypeTx, Hash: h}}
+		inv := n.getInv()
+		inv.InvList = append(inv.InvList, wire.InvVect{Type: wire.InvTypeTx, Hash: h})
 		n.queueRelay(p, inv, classTx, outMsg{relayMark: h, recvAt: recvAt})
 	}
 }
@@ -384,10 +385,9 @@ func (n *Node) acceptAndRelayBlock(p *Peer, m *wire.MsgBlock) bool {
 func (n *Node) announceBlock(blk *wire.MsgBlock, except ConnID, recvAt time.Time) {
 	h := blk.BlockHash()
 	var cmpct *wire.MsgCmpctBlock
-	for _, id := range n.pumpOrder() {
-		p := n.peers[id]
+	announce := func(p *Peer) {
 		if p == nil || !p.handshook || p.id == except || p.knows(h) {
-			continue
+			return
 		}
 		p.markKnown(h)
 		mark := outMsg{relayMark: h, recvAt: recvAt}
@@ -396,11 +396,29 @@ func (n *Node) announceBlock(blk *wire.MsgBlock, except ConnID, recvAt time.Time
 				cmpct = chain.BuildCompactBlock(blk, n.env.Rand().Uint64())
 			}
 			n.queueRelay(p, cmpct, classBlock, mark)
-			continue
+			return
 		}
-		inv := &wire.MsgInv{}
-		inv.InvList = []wire.InvVect{{Type: wire.InvTypeBlock, Hash: h}}
+		inv := n.getInv()
+		inv.InvList = append(inv.InvList, wire.InvVect{Type: wire.InvTypeBlock, Hash: h})
 		n.queueRelay(p, inv, classBlock, mark)
+	}
+	// PriorityOutbound announces to outbound connections first (the §V
+	// refinement); the stock policies use arrival order.
+	if n.pol.relay != PriorityOutbound {
+		for _, p := range n.slots {
+			announce(p)
+		}
+		return
+	}
+	for _, p := range n.slots {
+		if p != nil && p.dir != Inbound {
+			announce(p)
+		}
+	}
+	for _, p := range n.slots {
+		if p != nil && p.dir == Inbound {
+			announce(p)
+		}
 	}
 }
 

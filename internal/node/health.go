@@ -77,7 +77,7 @@ func (n *Node) healthTickInterval() time.Duration {
 // healthTick runs the periodic connection-health checks and reschedules
 // itself. All eviction decisions are collected before acting so map and
 // slice mutation never happens under iteration, and eviction order is
-// deterministic (rrOrder for peers, sorted hashes for blocks).
+// deterministic (slot order for peers, sorted hashes for blocks).
 func (n *Node) healthTick() {
 	if n.stopped {
 		return
@@ -99,8 +99,7 @@ func (n *Node) checkHandshakes(now time.Time) {
 		return
 	}
 	var stale []*Peer
-	for _, id := range n.rrOrder {
-		p := n.peers[id]
+	for _, p := range n.slots {
 		if p == nil || p.handshook {
 			continue
 		}
@@ -124,8 +123,7 @@ func (n *Node) checkHandshakes(now time.Time) {
 // Core's PING_INTERVAL / TIMEOUT_INTERVAL pair.
 func (n *Node) checkKeepalive(now time.Time) {
 	var stalled []*Peer
-	for _, id := range n.rrOrder {
-		p := n.peers[id]
+	for _, p := range n.slots {
 		if p == nil || !p.handshook {
 			continue
 		}
@@ -206,7 +204,7 @@ func (n *Node) checkBlockStalls(now time.Time) {
 			continue
 		}
 		evicted[s.conn] = true
-		p := n.peers[s.conn]
+		p := n.peerByConn(s.conn)
 		if p == nil {
 			// Connection already gone; just clear its requests.
 			n.clearInFlight(s.conn)
@@ -240,8 +238,7 @@ func (n *Node) clearInFlight(conn ConnID) {
 	}
 	// The download pipeline drained abnormally: resume from the first
 	// handshook peer still ahead of our tip.
-	for _, id := range n.rrOrder {
-		p := n.peers[id]
+	for _, p := range n.slots {
 		if p != nil && p.handshook && p.dir != Feeler && p.startHeight > n.chain.Height() {
 			n.requestHeaders(p)
 			return

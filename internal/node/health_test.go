@@ -55,7 +55,7 @@ func TestKeepalivePingOnIdlePeer(t *testing.T) {
 	// A matching PONG clears the outstanding ping and keeps the peer.
 	n.OnMessage(1, &wire.MsgPong{Nonce: ping.Nonce})
 	env.run(5 * time.Second)
-	p := n.peers[1]
+	p := n.peerByConn(1)
 	if p == nil {
 		t.Fatal("peer evicted despite answering the keepalive")
 	}
@@ -76,7 +76,7 @@ func TestSilentPeerEvictedAtStallTimeout(t *testing.T) {
 	// The peer never answers the keepalive: idle 2 min → PING, silent
 	// 20 more minutes → evicted.
 	env.run(25 * time.Minute)
-	if _, ok := n.peers[1]; ok {
+	if n.peerByConn(1) != nil {
 		t.Fatal("silent peer still connected after stall timeout")
 	}
 	if rec.count(EvPeerStalled) != 1 {
@@ -99,7 +99,7 @@ func TestHandshakeTimeoutEvictsMutePeer(t *testing.T) {
 		t.Fatal("inbound refused")
 	}
 	env.run(2 * time.Minute)
-	if _, ok := n.peers[7]; ok {
+	if n.peerByConn(7) != nil {
 		t.Fatal("mute peer still connected past the handshake timeout")
 	}
 	if rec.count(EvHandshakeTimeout) != 1 {
@@ -162,7 +162,7 @@ func TestBlockStallEvictsPeerAndResyncs(t *testing.T) {
 	// Peer 1 sits on the requested block: after BlockStallTimeout the
 	// stall detector evicts it and restarts sync from peer 2.
 	env.run(3 * time.Minute)
-	if _, ok := n.peers[1]; ok {
+	if n.peerByConn(1) != nil {
 		t.Fatal("stalling peer still connected past the block-stall timeout")
 	}
 	ev, ok := rec.first(EvBlockStalled)
@@ -206,8 +206,8 @@ func TestDialResultAfterStopClosesConnection(t *testing.T) {
 	if !found {
 		t.Error("connection delivered after Stop was not closed")
 	}
-	if len(n.peers) != 0 {
-		t.Errorf("peers = %d after Stop, want 0", len(n.peers))
+	if len(n.slotOf) != 0 {
+		t.Errorf("peers = %d after Stop, want 0", len(n.slotOf))
 	}
 }
 
@@ -315,7 +315,7 @@ func TestNegativeConfigDisablesHealthMachinery(t *testing.T) {
 		t.Fatal("inbound refused")
 	}
 	env.run(30 * time.Minute)
-	if _, ok := n.peers[7]; !ok {
+	if n.peerByConn(7) == nil {
 		t.Error("peer evicted despite disabled health machinery")
 	}
 	// Failed dials arm nothing.

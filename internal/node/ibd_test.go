@@ -200,7 +200,7 @@ func TestAccessors(t *testing.T) {
 		t.Error("Self mismatch")
 	}
 	completeHandshake(t, n, env, 1, mkAddr(10, 0, 0, 2), 0)
-	p := n.peers[1]
+	p := n.peerByConn(1)
 	if p.Addr() != mkAddr(10, 0, 0, 2) || p.Dir() != Inbound || !p.Handshook() {
 		t.Error("peer accessors inconsistent")
 	}

@@ -348,17 +348,44 @@ type Node struct {
 	chain   *chain.Chain
 	mempool *chain.Mempool
 
-	peers      map[ConnID]*Peer
+	// Peer bookkeeping is structure-of-arrays: slots holds peers in
+	// arrival order (the round-robin order), slotOf maps a ConnID to its
+	// slot index. Removal leaves a nil hole so slot indices stay stable
+	// while the pump iterates; holes are compacted outside the pump once
+	// they outnumber live entries. This replaces the old rrOrder slice +
+	// per-ID map lookup on every pump iteration.
+	slots     []*Peer
+	slotOf    map[ConnID]int32
+	slotHoles int
+	inPump    bool
+	// Per-direction connection counters, maintained by addPeer/removePeer
+	// so ConnCounts is O(1) (it runs on every maintenance tick).
+	nOutbound int
+	nInbound  int
+	nFeelers  int
+
 	byAddr     map[netip.AddrPort]*Peer
 	dialing    map[netip.AddrPort]Direction
-	rrOrder    []ConnID // stable round-robin order
-	pending    int      // total queued messages across all peers
+	pending    int // total queued messages across all peers
 	pumpArmed  bool
 	busyUntil  time.Time // virtual time the current loop's socket work ends
 	maintGen   uint64    // supersession counter for maintenance scheduling
 	started    bool
 	stopped    bool
 	syncedOnce bool
+
+	// pumpFn is the cached method value for pumpOnce: Schedule is called
+	// on every pump arm and re-arm, and a fresh method-value closure per
+	// call would allocate on the hottest path in the package.
+	pumpFn func()
+
+	// pongFree and invFree recycle outbound message values. They are fed
+	// only by RecycleOutbound — environments that fully consume messages
+	// at Transmit time — so under simnet (which retains and may
+	// re-deliver message pointers) they stay empty and every message is
+	// freshly allocated, exactly as before.
+	pongFree []*wire.MsgPong
+	invFree  []*wire.MsgInv
 
 	// Connection statistics (Figure 6/7 observables).
 	dialAttempts  int
@@ -460,7 +487,7 @@ func New(cfg Config, env Env) *Node {
 		env:            env,
 		chain:          chain.New(cfg.Genesis),
 		mempool:        chain.NewMempool(),
-		peers:          make(map[ConnID]*Peer),
+		slotOf:         make(map[ConnID]int32),
 		byAddr:         make(map[netip.AddrPort]*Peer),
 		dialing:        make(map[netip.AddrPort]Direction),
 		backoff:        make(map[netip.AddrPort]*backoffState),
@@ -480,6 +507,7 @@ func New(cfg Config, env Env) *Node {
 	}
 	n.pol, amCfg = resolvePolicies(cfg, amCfg)
 	n.addrman = addrman.New(amCfg)
+	n.pumpFn = n.pumpOnce
 	return n
 }
 
@@ -511,12 +539,16 @@ func (n *Node) Stop() {
 		return
 	}
 	n.stopped = true
-	for id := range n.peers {
-		n.env.Disconnect(id)
+	for _, p := range n.slots {
+		if p != nil {
+			n.env.Disconnect(p.id)
+		}
 	}
-	n.peers = make(map[ConnID]*Peer)
+	n.slots = nil
+	n.slotOf = make(map[ConnID]int32)
+	n.slotHoles = 0
+	n.nOutbound, n.nInbound, n.nFeelers = 0, 0, 0
 	n.byAddr = make(map[netip.AddrPort]*Peer)
-	n.rrOrder = nil
 	n.emit(Event{Type: EvStopped, Node: n.cfg.Self.Addr, Time: n.env.Now()})
 }
 
@@ -545,9 +577,8 @@ func (n *Node) DialStats() (attempts, successes int) {
 // PeerAddrs returns the remote addresses of current connections,
 // filtered by direction (0 = all).
 func (n *Node) PeerAddrs(dir Direction) []netip.AddrPort {
-	out := make([]netip.AddrPort, 0, len(n.rrOrder))
-	for _, id := range n.rrOrder {
-		p := n.peers[id]
+	out := make([]netip.AddrPort, 0, len(n.slots)-n.slotHoles)
+	for _, p := range n.slots {
 		if p == nil {
 			continue
 		}
@@ -562,17 +593,7 @@ func (n *Node) PeerAddrs(dir Direction) []netip.AddrPort {
 // ConnCounts returns the number of established connections by direction —
 // the Figure 6 observable (feelers included).
 func (n *Node) ConnCounts() (outbound, inbound, feelers int) {
-	for _, p := range n.peers {
-		switch p.dir {
-		case Outbound:
-			outbound++
-		case Inbound:
-			inbound++
-		case Feeler:
-			feelers++
-		}
-	}
-	return outbound, inbound, feelers
+	return n.nOutbound, n.nInbound, n.nFeelers
 }
 
 // IsSynced reports whether the node believes it is at the network tip
@@ -849,8 +870,8 @@ func (n *Node) OnInbound(remote netip.AddrPort, conn ConnID) bool {
 
 // OnDisconnect is invoked by the environment when a connection closes.
 func (n *Node) OnDisconnect(conn ConnID) {
-	p, ok := n.peers[conn]
-	if !ok {
+	p := n.peerByConn(conn)
+	if p == nil {
 		return
 	}
 	n.removePeer(p)
@@ -875,8 +896,8 @@ func (n *Node) OnMessage(conn ConnID, msg wire.Message) {
 	if n.stopped {
 		return
 	}
-	p, ok := n.peers[conn]
-	if !ok {
+	p := n.peerByConn(conn)
+	if p == nil {
 		return
 	}
 	p.lastRecv = n.env.Now()
@@ -885,7 +906,16 @@ func (n *Node) OnMessage(conn ConnID, msg wire.Message) {
 	n.armPump()
 }
 
-// addPeer registers a connection.
+// peerByConn resolves a connection ID to its peer, or nil.
+func (n *Node) peerByConn(conn ConnID) *Peer {
+	if i, ok := n.slotOf[conn]; ok {
+		return n.slots[i]
+	}
+	return nil
+}
+
+// addPeer registers a connection in the next slot (arrival order is the
+// round-robin order).
 func (n *Node) addPeer(conn ConnID, remote netip.AddrPort, dir Direction) *Peer {
 	p := &Peer{
 		id:        conn,
@@ -894,25 +924,64 @@ func (n *Node) addPeer(conn ConnID, remote netip.AddrPort, dir Direction) *Peer 
 		connected: n.env.Now(),
 		knownInv:  make(map[chainhash.Hash]struct{}),
 	}
-	n.peers[conn] = p
+	n.slotOf[conn] = int32(len(n.slots))
+	n.slots = append(n.slots, p)
 	n.byAddr[remote] = p
-	n.rrOrder = append(n.rrOrder, conn)
+	switch dir {
+	case Outbound:
+		n.nOutbound++
+	case Inbound:
+		n.nInbound++
+	case Feeler:
+		n.nFeelers++
+	}
 	return p
 }
 
-// removePeer unregisters a connection.
+// removePeer unregisters a connection, leaving a nil hole so slot indices
+// stay stable for an in-progress pump iteration.
 func (n *Node) removePeer(p *Peer) {
+	i, ok := n.slotOf[p.id]
+	if !ok || n.slots[i] != p {
+		return
+	}
 	n.pending -= p.recvLen() + p.queueLen()
-	delete(n.peers, p.id)
+	n.slots[i] = nil
+	n.slotHoles++
+	delete(n.slotOf, p.id)
 	if n.byAddr[p.addr] == p {
 		delete(n.byAddr, p.addr)
 	}
-	for i, id := range n.rrOrder {
-		if id == p.id {
-			n.rrOrder = append(n.rrOrder[:i], n.rrOrder[i+1:]...)
-			break
+	switch p.dir {
+	case Outbound:
+		n.nOutbound--
+	case Inbound:
+		n.nInbound--
+	case Feeler:
+		n.nFeelers--
+	}
+	n.maybeCompactSlots()
+}
+
+// maybeCompactSlots squeezes nil holes out of the slot array once they
+// outnumber live peers. It never runs while the pump is iterating: slot
+// indices must stay stable within one pump pass.
+func (n *Node) maybeCompactSlots() {
+	if n.inPump || n.slotHoles == 0 || n.slotHoles*2 < len(n.slots) {
+		return
+	}
+	live := n.slots[:0]
+	for _, p := range n.slots {
+		if p != nil {
+			n.slotOf[p.id] = int32(len(live))
+			live = append(live, p)
 		}
 	}
+	for i := len(live); i < len(n.slots); i++ {
+		n.slots[i] = nil
+	}
+	n.slots = live
+	n.slotHoles = 0
 }
 
 // versionMsg builds this node's VERSION message.

@@ -19,7 +19,7 @@ func TestDuplicateVersionIgnored(t *testing.T) {
 	before := len(env.transmitsTo(1))
 	n.OnMessage(1, &wire.MsgVersion{Timestamp: env.Now(), StartHeight: 50})
 	env.run(time.Second)
-	p := n.peers[1]
+	p := n.peerByConn(1)
 	if p.startHeight == 50 {
 		t.Error("duplicate VERSION overwrote peer state")
 	}

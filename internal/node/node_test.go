@@ -23,8 +23,17 @@ type fakeEnv struct {
 	transmits []transmitRec
 	closed    []ConnID
 
-	q   fakeHeap
-	seq uint64
+	// discard stops Transmit from recording messages; recycle, when also
+	// set, receives each transmitted message instead. Benchmarks use the
+	// pair to model an environment that fully consumes messages at
+	// Transmit time (the node.RecycleOutbound contract) so the steady
+	// state allocates nothing.
+	discard bool
+	recycle func(wire.Message)
+
+	q    fakeHeap
+	free []*fakeEvent
+	seq  uint64
 }
 
 type transmitRec struct {
@@ -62,10 +71,24 @@ func (e *fakeEnv) Disconnect(c ConnID)   { e.closed = append(e.closed, c) }
 
 func (e *fakeEnv) Schedule(d time.Duration, fn func()) {
 	e.seq++
-	heap.Push(&e.q, &fakeEvent{at: e.now.Add(d), seq: e.seq, fn: fn})
+	var ev *fakeEvent
+	if k := len(e.free); k > 0 {
+		ev = e.free[k-1]
+		e.free = e.free[:k-1]
+	} else {
+		ev = new(fakeEvent)
+	}
+	ev.at, ev.seq, ev.fn = e.now.Add(d), e.seq, fn
+	heap.Push(&e.q, ev)
 }
 
 func (e *fakeEnv) Transmit(conn ConnID, msg wire.Message, delay time.Duration) {
+	if e.discard {
+		if e.recycle != nil {
+			e.recycle(msg)
+		}
+		return
+	}
 	e.transmits = append(e.transmits, transmitRec{
 		conn: conn, msg: msg, delay: delay, at: e.now.Add(delay),
 	})
@@ -82,7 +105,10 @@ func (e *fakeEnv) run(until time.Duration) {
 		}
 		heap.Pop(&e.q)
 		e.now = next.at
-		next.fn()
+		fn := next.fn
+		next.fn = nil
+		e.free = append(e.free, next)
+		fn()
 	}
 	if e.now.Before(deadline) {
 		e.now = deadline
@@ -130,7 +156,7 @@ func completeHandshake(t *testing.T, n *Node, env *fakeEnv, conn ConnID, peer ne
 	})
 	n.OnMessage(conn, &wire.MsgVerAck{})
 	env.run(5 * time.Second)
-	p := n.peers[conn]
+	p := n.peerByConn(conn)
 	if p == nil || !p.handshook {
 		t.Fatalf("handshake with %v did not complete", peer)
 	}

@@ -91,37 +91,21 @@ func (n *Node) transmitNow(p *Peer, out outMsg, delay time.Duration) {
 }
 
 // armPump schedules a pump iteration if one is not already pending.
+// pumpFn is the cached method value: Schedule takes a func() and a fresh
+// n.pumpOnce closure per call would allocate on every arm.
 func (n *Node) armPump() {
 	if n.pumpArmed || n.stopped {
 		return
 	}
 	n.pumpArmed = true
-	n.env.Schedule(0, n.pumpOnce)
-}
-
-// pumpOrder returns the connection servicing order for this iteration.
-// RoundRobin and Broadcast use arrival order (Bitcoin Core iterates
-// vNodes in connection order); PriorityOutbound services outbound
-// connections first.
-func (n *Node) pumpOrder() []ConnID {
-	if n.pol.relay != PriorityOutbound {
-		return n.rrOrder
-	}
-	order := make([]ConnID, 0, len(n.rrOrder))
-	for _, id := range n.rrOrder {
-		if p := n.peers[id]; p != nil && p.dir != Inbound {
-			order = append(order, id)
-		}
-	}
-	for _, id := range n.rrOrder {
-		if p := n.peers[id]; p != nil && p.dir == Inbound {
-			order = append(order, id)
-		}
-	}
-	return order
+	n.env.Schedule(0, n.pumpFn)
 }
 
 // pumpOnce runs one message-handler loop iteration (Algorithm 3).
+// RoundRobin and Broadcast service connections in arrival order (Bitcoin
+// Core iterates vNodes in connection order); PriorityOutbound services
+// outbound connections first, as a second inline pass over the slots —
+// no order slice is materialized.
 func (n *Node) pumpOnce() {
 	n.pumpArmed = false
 	if n.stopped {
@@ -134,33 +118,35 @@ func (n *Node) pumpOnce() {
 	now := n.env.Now()
 	if now.Before(n.busyUntil) {
 		n.pumpArmed = true
-		n.env.Schedule(n.busyUntil.Sub(now), n.pumpOnce)
+		n.env.Schedule(n.busyUntil.Sub(now), n.pumpFn)
 		return
 	}
+	n.maybeCompactSlots()
+	n.inPump = true
 	busy := time.Duration(0)
-	order := n.pumpOrder()
-	for _, id := range order {
-		p, ok := n.peers[id]
-		if !ok {
-			continue
+	// Peers added mid-loop must not be serviced this iteration (the old
+	// order snapshot had the same property), so the bound is fixed here.
+	limit := len(n.slots)
+	if n.pol.relay != PriorityOutbound {
+		for i := 0; i < limit && !n.stopped; i++ {
+			n.serviceSlot(i, &busy)
 		}
-		// ThreadMessageHandler: process one message from vProcessMsg.
-		if p.recvLen() > 0 {
-			busy += n.cfg.MsgProcTime
-			n.pending--
-			n.handleMessage(p, p.popRecv())
+	} else {
+		for i := 0; i < limit && !n.stopped; i++ {
+			if p := n.slots[i]; p != nil && p.dir != Inbound {
+				n.serviceSlot(i, &busy)
+			}
 		}
-		// SocketHandler: write one message from vSendMsg.
-		// The peer may have been disconnected by the handler above.
-		if _, still := n.peers[id]; !still {
-			continue
+		for i := 0; i < limit && !n.stopped; i++ {
+			if p := n.slots[i]; p != nil && p.dir == Inbound {
+				n.serviceSlot(i, &busy)
+			}
 		}
-		if p.queueLen() > 0 {
-			out := p.popSend()
-			busy += n.sendTime(out.msg)
-			n.pending--
-			n.transmitNow(p, out, busy)
-		}
+	}
+	n.inPump = false
+	n.maybeCompactSlots()
+	if n.stopped {
+		return
 	}
 	n.busyUntil = now.Add(busy)
 	// Re-run while any queue holds work; each loop costs its accumulated
@@ -169,7 +155,81 @@ func (n *Node) pumpOnce() {
 	// keeps that early firing honest.
 	if n.hasPendingWork() && !n.pumpArmed {
 		n.pumpArmed = true
-		n.env.Schedule(busy+n.cfg.LoopOverhead, n.pumpOnce)
+		n.env.Schedule(busy+n.cfg.LoopOverhead, n.pumpFn)
+	}
+}
+
+// serviceSlot runs one round-robin quantum for the peer in slot i:
+// process one received message, transmit one queued message. The slot is
+// re-read around the handler because handling a message may disconnect
+// this peer (or others — their slots go nil and are skipped naturally).
+func (n *Node) serviceSlot(i int, busy *time.Duration) {
+	p := n.slots[i]
+	if p == nil {
+		return
+	}
+	// ThreadMessageHandler: process one message from vProcessMsg.
+	if p.recvLen() > 0 {
+		*busy += n.cfg.MsgProcTime
+		n.pending--
+		n.handleMessage(p, p.popRecv())
+	}
+	// SocketHandler: write one message from vSendMsg.
+	// The peer may have been disconnected by the handler above.
+	if n.stopped || n.slots[i] != p {
+		return
+	}
+	if p.queueLen() > 0 {
+		out := p.popSend()
+		*busy += n.sendTime(out.msg)
+		n.pending--
+		n.transmitNow(p, out, *busy)
+	}
+}
+
+// maxFreeList bounds each recycled-message free list.
+const maxFreeList = 64
+
+// getPong returns a PONG value from the free list, or a fresh one. The
+// free list is fed only by RecycleOutbound.
+func (n *Node) getPong() *wire.MsgPong {
+	if k := len(n.pongFree); k > 0 {
+		pong := n.pongFree[k-1]
+		n.pongFree = n.pongFree[:k-1]
+		return pong
+	}
+	return new(wire.MsgPong)
+}
+
+// getInv returns an empty INV from the free list, or a fresh one.
+func (n *Node) getInv() *wire.MsgInv {
+	if k := len(n.invFree); k > 0 {
+		inv := n.invFree[k-1]
+		n.invFree = n.invFree[:k-1]
+		inv.InvList = inv.InvList[:0]
+		return inv
+	}
+	return new(wire.MsgInv)
+}
+
+// RecycleOutbound returns a message previously handed to Env.Transmit to
+// the node's free lists. Only an environment that fully consumes each
+// transmitted message at Transmit time — serializing or discarding it
+// before returning — may call this, at most once per transmitted
+// message. Environments that retain message pointers or may deliver the
+// same pointer twice (simnet under Duplicate fault verdicts, test envs
+// that record transmits) must never call it; with the free lists unfed,
+// every outbound message is freshly allocated, exactly as before.
+func (n *Node) RecycleOutbound(msg wire.Message) {
+	switch m := msg.(type) {
+	case *wire.MsgPong:
+		if len(n.pongFree) < maxFreeList {
+			n.pongFree = append(n.pongFree, m)
+		}
+	case *wire.MsgInv:
+		if len(n.invFree) < maxFreeList && cap(m.InvList) <= 64 {
+			n.invFree = append(n.invFree, m)
+		}
 	}
 }
 

@@ -129,20 +129,26 @@ func (d *Dialer) Dial(addr netip.AddrPort) (crawler.Session, error) {
 		remote:    addr,
 		net:       network,
 		ioTimeout: ioTimeout,
+		enc:       wire.GetEncoder(),
+		dec:       wire.GetDecoder(),
 	}
 	if err := sess.handshake(ua); err != nil {
-		_ = conn.Close()
+		_ = sess.Close()
 		return nil, fmt.Errorf("tcpnet: handshake with %v: %w", addr, err)
 	}
 	return sess, nil
 }
 
-// tcpSession is a live crawl connection.
+// tcpSession is a live crawl connection. It owns a pooled Encoder/Decoder
+// pair for its lifetime so per-message framing does not allocate; both are
+// returned to their pools by Close.
 type tcpSession struct {
 	conn      net.Conn
 	remote    netip.AddrPort
 	net       wire.BitcoinNet
 	ioTimeout time.Duration
+	enc       *wire.Encoder
+	dec       *wire.Decoder
 }
 
 var _ crawler.Session = (*tcpSession)(nil)
@@ -157,11 +163,11 @@ func (s *tcpSession) handshake(userAgent string) error {
 		UserAgent:       userAgent,
 	}
 	s.deadline()
-	if _, err := wire.WriteMessage(s.conn, ver, s.net); err != nil {
+	if _, err := s.enc.WriteMessage(s.conn, ver, s.net); err != nil {
 		return err
 	}
 	s.deadline()
-	if _, err := wire.WriteMessage(s.conn, &wire.MsgVerAck{}, s.net); err != nil {
+	if _, err := s.enc.WriteMessage(s.conn, &wire.MsgVerAck{}, s.net); err != nil {
 		return err
 	}
 	// Expect the responder's VERSION then VERACK (order may interleave
@@ -169,7 +175,7 @@ func (s *tcpSession) handshake(userAgent string) error {
 	sawVersion, sawVerack := false, false
 	for !sawVersion || !sawVerack {
 		s.deadline()
-		msg, err := wire.ReadMessage(s.conn, s.net)
+		msg, err := s.dec.ReadMessage(s.conn, s.net)
 		if err != nil {
 			if errors.Is(err, wire.ErrUnknownCommand) {
 				continue
@@ -189,15 +195,17 @@ func (s *tcpSession) handshake(userAgent string) error {
 // Remote implements crawler.Session.
 func (s *tcpSession) Remote() netip.AddrPort { return s.remote }
 
-// GetAddr implements crawler.Session: one GETADDR→ADDR exchange.
+// GetAddr implements crawler.Session: one GETADDR→ADDR exchange. The
+// returned slice is the session's reused decode buffer — valid until the
+// next GetAddr or Close, per the crawler.Session contract.
 func (s *tcpSession) GetAddr() ([]wire.NetAddress, error) {
 	s.deadline()
-	if _, err := wire.WriteMessage(s.conn, &wire.MsgGetAddr{}, s.net); err != nil {
+	if _, err := s.enc.WriteMessage(s.conn, &wire.MsgGetAddr{}, s.net); err != nil {
 		return nil, err
 	}
 	for {
 		s.deadline()
-		msg, err := wire.ReadMessage(s.conn, s.net)
+		msg, err := s.dec.ReadMessage(s.conn, s.net)
 		if err != nil {
 			if errors.Is(err, wire.ErrUnknownCommand) {
 				continue
@@ -212,7 +220,17 @@ func (s *tcpSession) GetAddr() ([]wire.NetAddress, error) {
 }
 
 // Close implements crawler.Session.
-func (s *tcpSession) Close() error { return s.conn.Close() }
+func (s *tcpSession) Close() error {
+	if s.enc != nil {
+		s.enc.Release()
+		s.enc = nil
+	}
+	if s.dec != nil {
+		s.dec.Release()
+		s.dec = nil
+	}
+	return s.conn.Close()
+}
 
 // Prober implements crawler.Prober over TCP, mirroring the paper's Scapy
 // probe semantics:
@@ -272,10 +290,15 @@ func (p *Prober) Probe(addr netip.AddrPort) (crawler.ProbeOutcome, error) {
 		Timestamp:       time.Now(),
 		UserAgent:       "/repro-scanner:1.0/",
 	}
-	if _, err := wire.WriteMessage(conn, ver, network); err != nil {
+	enc := wire.GetEncoder()
+	if _, err := enc.WriteMessage(conn, ver, network); err != nil {
+		enc.Release()
 		return crawler.ProbeResponsive, nil // write failed: closed on us
 	}
-	msg, err := wire.ReadMessage(conn, network)
+	enc.Release()
+	dec := wire.GetDecoder()
+	defer dec.Release()
+	msg, err := dec.ReadMessage(conn, network)
 	if err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
 			errors.Is(err, syscall.ECONNRESET) {

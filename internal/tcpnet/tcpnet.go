@@ -160,14 +160,21 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// serve handles one inbound connection: handshake, then request loop.
+// serve handles one inbound connection: handshake, then request loop. The
+// connection owns a pooled Encoder/Decoder pair for its lifetime, so the
+// per-message framing path does not allocate. Messages from dec are reused
+// per command; serve never retains one across reads.
 func (s *Server) serve(conn net.Conn) {
 	defer func() { _ = conn.Close() }()
+	enc := wire.GetEncoder()
+	defer enc.Release()
+	dec := wire.GetDecoder()
+	defer dec.Release()
 	deadline := func() { _ = conn.SetDeadline(time.Now().Add(s.cfg.IOTimeout)) }
 
 	// Expect the initiator's VERSION.
 	deadline()
-	msg, err := wire.ReadMessage(conn, s.cfg.Net)
+	msg, err := dec.ReadMessage(conn, s.cfg.Net)
 	if err != nil {
 		return
 	}
@@ -183,18 +190,21 @@ func (s *Server) serve(conn net.Conn) {
 		UserAgent:       s.cfg.UserAgent,
 	}
 	deadline()
-	if _, err := wire.WriteMessage(conn, ours, s.cfg.Net); err != nil {
+	if _, err := enc.WriteMessage(conn, ours, s.cfg.Net); err != nil {
 		return
 	}
 	deadline()
-	if _, err := wire.WriteMessage(conn, &wire.MsgVerAck{}, s.cfg.Net); err != nil {
+	if _, err := enc.WriteMessage(conn, &wire.MsgVerAck{}, s.cfg.Net); err != nil {
 		return
 	}
 
 	cursor := 0
+	pong := &wire.MsgPong{}
+	reply := &wire.MsgAddr{}
+	var pageBuf []wire.NetAddress
 	for {
 		deadline()
-		msg, err := wire.ReadMessage(conn, s.cfg.Net)
+		msg, err := dec.ReadMessage(conn, s.cfg.Net)
 		if err != nil {
 			if errors.Is(err, wire.ErrUnknownCommand) {
 				continue // skip and keep serving
@@ -205,14 +215,16 @@ func (s *Server) serve(conn net.Conn) {
 		case *wire.MsgVerAck:
 			// Handshake complete; nothing to do.
 		case *wire.MsgPing:
+			pong.Nonce = m.Nonce
 			deadline()
-			if _, err := wire.WriteMessage(conn, &wire.MsgPong{Nonce: m.Nonce}, s.cfg.Net); err != nil {
+			if _, err := enc.WriteMessage(conn, pong, s.cfg.Net); err != nil {
 				return
 			}
 		case *wire.MsgGetAddr:
-			page := s.page(&cursor)
+			pageBuf = s.page(&cursor, pageBuf[:0])
+			reply.AddrList = pageBuf
 			deadline()
-			if _, err := wire.WriteMessage(conn, &wire.MsgAddr{AddrList: page}, s.cfg.Net); err != nil {
+			if _, err := enc.WriteMessage(conn, reply, s.cfg.Net); err != nil {
 				return
 			}
 		default:
@@ -221,11 +233,12 @@ func (s *Server) serve(conn net.Conn) {
 	}
 }
 
-// page returns the next GETADDR response slice, advancing the cursor; a
-// drained book repeats its first page (Algorithm 1's stop condition).
-func (s *Server) page(cursor *int) []wire.NetAddress {
+// page appends the next GETADDR response slice to out, advancing the
+// cursor; a drained book repeats its first page (Algorithm 1's stop
+// condition). Callers reuse out across pages — the previous page must be
+// fully written to the socket first.
+func (s *Server) page(cursor *int, out []wire.NetAddress) []wire.NetAddress {
 	book := s.cfg.Book
-	var out []wire.NetAddress
 	if !s.cfg.OmitSelf {
 		out = append(out, s.cfg.Self)
 	}

@@ -61,7 +61,14 @@ func (m *MsgAddr) Decode(r io.Reader) error {
 		return fmt.Errorf("%w: %d addresses (max %d)", ErrTooMany,
 			count, MaxAddrPerMsg)
 	}
-	m.AddrList = make([]NetAddress, count)
+	// Reuse capacity when a Decoder recycles this message; every element
+	// is fully overwritten below. A fresh message still allocates (even
+	// for count 0) so decode results stay identical to the legacy path.
+	if m.AddrList != nil && cap(m.AddrList) >= int(count) {
+		m.AddrList = m.AddrList[:count]
+	} else {
+		m.AddrList = make([]NetAddress, count)
+	}
 	for i := range m.AddrList {
 		if err := readNetAddress(r, &m.AddrList[i], true); err != nil {
 			return err

@@ -64,7 +64,14 @@ func (m *invList) decode(r io.Reader) error {
 		return fmt.Errorf("%w: %d inventory vectors (max %d)", ErrTooMany,
 			count, MaxInvPerMsg)
 	}
-	m.InvList = make([]InvVect, count)
+	// Reuse capacity when a Decoder recycles this message; every element
+	// is fully overwritten below. A fresh message still allocates (even
+	// for count 0) so decode results stay identical to the legacy path.
+	if m.InvList != nil && cap(m.InvList) >= int(count) {
+		m.InvList = m.InvList[:count]
+	} else {
+		m.InvList = make([]InvVect, count)
+	}
 	for i := range m.InvList {
 		if err := readInvVect(r, &m.InvList[i]); err != nil {
 			return err
@@ -329,15 +336,38 @@ type BlockHeader struct {
 	Nonce uint32
 }
 
-// Encode writes the 80-byte header serialization.
-func (h *BlockHeader) Encode(w io.Writer) error {
-	var buf [80]byte
+func (h *BlockHeader) fill(buf *[80]byte) {
 	putUint32(buf[0:4], uint32(h.Version))
 	copy(buf[4:36], h.PrevBlock[:])
 	copy(buf[36:68], h.MerkleRoot[:])
 	putUint32(buf[68:72], h.Timestamp)
 	putUint32(buf[72:76], h.Bits)
 	putUint32(buf[76:80], h.Nonce)
+}
+
+func (h *BlockHeader) unfill(buf *[80]byte) {
+	h.Version = int32(getUint32(buf[0:4]))
+	copy(h.PrevBlock[:], buf[4:36])
+	copy(h.MerkleRoot[:], buf[36:68])
+	h.Timestamp = getUint32(buf[68:72])
+	h.Bits = getUint32(buf[72:76])
+	h.Nonce = getUint32(buf[76:80])
+}
+
+// Encode writes the 80-byte header serialization.
+func (h *BlockHeader) Encode(w io.Writer) error {
+	if fb, ok := w.(*frameBuilder); ok {
+		var buf [80]byte
+		h.fill(&buf)
+		fb.buf = append(fb.buf, buf[:]...)
+		return nil
+	}
+	return h.encodeSlow(w)
+}
+
+func (h *BlockHeader) encodeSlow(w io.Writer) error {
+	var buf [80]byte
+	h.fill(&buf)
 	_, err := w.Write(buf[:])
 	return err
 }
@@ -345,16 +375,24 @@ func (h *BlockHeader) Encode(w io.Writer) error {
 // Decode reads the 80-byte header serialization.
 func (h *BlockHeader) Decode(r io.Reader) error {
 	var buf [80]byte
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return err
+	if br, ok := r.(*bytes.Reader); ok {
+		if err := readFull(br, buf[:]); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if buf, err = readBlockHeaderSlow(r); err != nil {
+			return err
+		}
 	}
-	h.Version = int32(getUint32(buf[0:4]))
-	copy(h.PrevBlock[:], buf[4:36])
-	copy(h.MerkleRoot[:], buf[36:68])
-	h.Timestamp = getUint32(buf[68:72])
-	h.Bits = getUint32(buf[72:76])
-	h.Nonce = getUint32(buf[76:80])
+	h.unfill(&buf)
 	return nil
+}
+
+func readBlockHeaderSlow(r io.Reader) ([80]byte, error) {
+	var buf [80]byte
+	_, err := io.ReadFull(r, buf[:])
+	return buf, err
 }
 
 // BlockHash returns the double-SHA256 of the serialized header, the

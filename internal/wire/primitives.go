@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -10,6 +11,15 @@ import (
 
 // Little-endian helpers over fixed buffers. These avoid the interface
 // allocations of binary.Read/Write on the hot encode/decode paths.
+//
+// Each helper carries a concrete fast path: writes recognize the
+// Encoder's *frameBuilder and append in place; reads recognize
+// *bytes.Reader (the Decoder's payload reader) and copy straight out of
+// it. The fast paths matter because a fixed-size scratch array passed
+// through an io.Writer/io.Reader interface call escapes to the heap —
+// exactly the per-field allocation this package is meant to avoid. The
+// slow paths keep their scratch in separate functions so the escape does
+// not leak into the fast path's frame.
 
 func putUint16(b []byte, v uint16) { binary.LittleEndian.PutUint16(b, v) }
 func putUint32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
@@ -18,12 +28,42 @@ func getUint16(b []byte) uint16    { return binary.LittleEndian.Uint16(b) }
 func getUint32(b []byte) uint32    { return binary.LittleEndian.Uint32(b) }
 func getUint64(b []byte) uint64    { return binary.LittleEndian.Uint64(b) }
 
+// readFull copies exactly len(p) bytes from a *bytes.Reader with
+// io.ReadFull's error contract, without the interface indirection that
+// would force p's backing array to the heap at the caller.
+func readFull(br *bytes.Reader, p []byte) error {
+	n, _ := br.Read(p)
+	if n < len(p) {
+		if n == 0 {
+			return io.EOF
+		}
+		return io.ErrUnexpectedEOF
+	}
+	return nil
+}
+
 func writeUint8(w io.Writer, v uint8) error {
+	if fb, ok := w.(*frameBuilder); ok {
+		fb.buf = append(fb.buf, v)
+		return nil
+	}
+	return writeUint8Slow(w, v)
+}
+
+func writeUint8Slow(w io.Writer, v uint8) error {
 	_, err := w.Write([]byte{v})
 	return err
 }
 
 func readUint8(r io.Reader) (uint8, error) {
+	if br, ok := r.(*bytes.Reader); ok {
+		v, err := br.ReadByte()
+		return v, err
+	}
+	return readUint8Slow(r)
+}
+
+func readUint8Slow(r io.Reader) (uint8, error) {
 	var b [1]byte
 	if _, err := io.ReadFull(r, b[:]); err != nil {
 		return 0, err
@@ -32,6 +72,14 @@ func readUint8(r io.Reader) (uint8, error) {
 }
 
 func writeUint16(w io.Writer, v uint16) error {
+	if fb, ok := w.(*frameBuilder); ok {
+		fb.buf = append(fb.buf, byte(v), byte(v>>8))
+		return nil
+	}
+	return writeUint16Slow(w, v)
+}
+
+func writeUint16Slow(w io.Writer, v uint16) error {
 	var b [2]byte
 	putUint16(b[:], v)
 	_, err := w.Write(b[:])
@@ -39,6 +87,17 @@ func writeUint16(w io.Writer, v uint16) error {
 }
 
 func readUint16(r io.Reader) (uint16, error) {
+	if br, ok := r.(*bytes.Reader); ok {
+		var b [2]byte
+		if err := readFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return getUint16(b[:]), nil
+	}
+	return readUint16Slow(r)
+}
+
+func readUint16Slow(r io.Reader) (uint16, error) {
 	var b [2]byte
 	if _, err := io.ReadFull(r, b[:]); err != nil {
 		return 0, err
@@ -47,6 +106,14 @@ func readUint16(r io.Reader) (uint16, error) {
 }
 
 func writeUint32(w io.Writer, v uint32) error {
+	if fb, ok := w.(*frameBuilder); ok {
+		fb.buf = append(fb.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		return nil
+	}
+	return writeUint32Slow(w, v)
+}
+
+func writeUint32Slow(w io.Writer, v uint32) error {
 	var b [4]byte
 	putUint32(b[:], v)
 	_, err := w.Write(b[:])
@@ -54,6 +121,17 @@ func writeUint32(w io.Writer, v uint32) error {
 }
 
 func readUint32(r io.Reader) (uint32, error) {
+	if br, ok := r.(*bytes.Reader); ok {
+		var b [4]byte
+		if err := readFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return getUint32(b[:]), nil
+	}
+	return readUint32Slow(r)
+}
+
+func readUint32Slow(r io.Reader) (uint32, error) {
 	var b [4]byte
 	if _, err := io.ReadFull(r, b[:]); err != nil {
 		return 0, err
@@ -62,6 +140,16 @@ func readUint32(r io.Reader) (uint32, error) {
 }
 
 func writeUint64(w io.Writer, v uint64) error {
+	if fb, ok := w.(*frameBuilder); ok {
+		fb.buf = append(fb.buf,
+			byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+		return nil
+	}
+	return writeUint64Slow(w, v)
+}
+
+func writeUint64Slow(w io.Writer, v uint64) error {
 	var b [8]byte
 	putUint64(b[:], v)
 	_, err := w.Write(b[:])
@@ -69,6 +157,17 @@ func writeUint64(w io.Writer, v uint64) error {
 }
 
 func readUint64(r io.Reader) (uint64, error) {
+	if br, ok := r.(*bytes.Reader); ok {
+		var b [8]byte
+		if err := readFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return getUint64(b[:]), nil
+	}
+	return readUint64Slow(r)
+}
+
+func readUint64Slow(r io.Reader) (uint64, error) {
 	var b [8]byte
 	if _, err := io.ReadFull(r, b[:]); err != nil {
 		return 0, err
@@ -229,12 +328,22 @@ func writeNetAddress(w io.Writer, na *NetAddress, withTS bool) error {
 	if err := writeUint64(w, uint64(na.Services)); err != nil {
 		return err
 	}
+	// Port is big-endian on the wire, unlike everything else.
+	port := na.Addr.Port()
+	if fb, ok := w.(*frameBuilder); ok {
+		ip := na.Addr.Addr().As16()
+		fb.buf = append(fb.buf, ip[:]...)
+		fb.buf = append(fb.buf, byte(port>>8), byte(port))
+		return nil
+	}
+	return writeNetAddressSlow(w, na, port)
+}
+
+func writeNetAddressSlow(w io.Writer, na *NetAddress, port uint16) error {
 	ip := na.Addr.Addr().As16()
 	if _, err := w.Write(ip[:]); err != nil {
 		return err
 	}
-	// Port is big-endian on the wire, unlike everything else.
-	port := na.Addr.Port()
 	if _, err := w.Write([]byte{byte(port >> 8), byte(port)}); err != nil {
 		return err
 	}
@@ -256,12 +365,21 @@ func readNetAddress(r io.Reader, na *NetAddress, withTS bool) error {
 	}
 	na.Services = ServiceFlag(svc)
 	var ip [16]byte
-	if _, err := io.ReadFull(r, ip[:]); err != nil {
-		return err
-	}
 	var portBuf [2]byte
-	if _, err := io.ReadFull(r, portBuf[:]); err != nil {
-		return err
+	if br, ok := r.(*bytes.Reader); ok {
+		if err := readFull(br, ip[:]); err != nil {
+			return err
+		}
+		if err := readFull(br, portBuf[:]); err != nil {
+			return err
+		}
+	} else {
+		// The slow path returns by value so its heap-escaping scratch does
+		// not drag the fast path's stack arrays along with it.
+		var err error
+		if ip, portBuf, err = readNetAddressTailSlow(r); err != nil {
+			return err
+		}
 	}
 	port := uint16(portBuf[0])<<8 | uint16(portBuf[1])
 	addr := netip.AddrFrom16(ip)
@@ -270,6 +388,16 @@ func readNetAddress(r io.Reader, na *NetAddress, withTS bool) error {
 	}
 	na.Addr = netip.AddrPortFrom(addr, port)
 	return nil
+}
+
+func readNetAddressTailSlow(r io.Reader) ([16]byte, [2]byte, error) {
+	var ip [16]byte
+	var portBuf [2]byte
+	if _, err := io.ReadFull(r, ip[:]); err != nil {
+		return ip, portBuf, err
+	}
+	_, err := io.ReadFull(r, portBuf[:])
+	return ip, portBuf, err
 }
 
 // InvType identifies the kind of object an inventory vector refers to.

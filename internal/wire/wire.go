@@ -179,22 +179,73 @@ type messageHeader struct {
 	checksum [4]byte
 }
 
-func writeMessageHeader(w io.Writer, h *messageHeader) error {
+// writeMessageHeader writes the 24-byte header and returns the number of
+// bytes actually written, so short-write totals stay truthful.
+func writeMessageHeader(w io.Writer, h *messageHeader) (int, error) {
 	var buf [headerSize]byte
 	putUint32(buf[0:4], uint32(h.magic))
 	copy(buf[4:4+CommandSize], h.command) // zero-padded by array init
 	putUint32(buf[16:20], h.length)
 	copy(buf[20:24], h.checksum[:])
-	_, err := w.Write(buf[:])
-	return err
+	return w.Write(buf[:])
 }
 
-func readMessageHeader(r io.Reader) (*messageHeader, error) {
-	var buf [headerSize]byte
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return nil, err
+// internCommand returns the canonical constant for a known command name so
+// header parsing does not allocate a string per message. Unknown commands
+// (the rare path; they fail makeEmptyMessage anyway) fall back to a fresh
+// allocation. Comparing a []byte converted to string against constants is
+// allocation-free in Go.
+func internCommand(cmd []byte) string {
+	switch string(cmd) {
+	case CmdVersion:
+		return CmdVersion
+	case CmdVerAck:
+		return CmdVerAck
+	case CmdAddr:
+		return CmdAddr
+	case CmdGetAddr:
+		return CmdGetAddr
+	case CmdInv:
+		return CmdInv
+	case CmdGetData:
+		return CmdGetData
+	case CmdTx:
+		return CmdTx
+	case CmdBlock:
+		return CmdBlock
+	case CmdHeaders:
+		return CmdHeaders
+	case CmdGetHeaders:
+		return CmdGetHeaders
+	case CmdPing:
+		return CmdPing
+	case CmdPong:
+		return CmdPong
+	case CmdSendCmpct:
+		return CmdSendCmpct
+	case CmdCmpctBlock:
+		return CmdCmpctBlock
+	case CmdGetBlockTxn:
+		return CmdGetBlockTxn
+	case CmdBlockTxn:
+		return CmdBlockTxn
+	case CmdReject:
+		return CmdReject
+	case CmdNotFound:
+		return CmdNotFound
+	default:
+		return string(cmd)
 	}
-	h := &messageHeader{
+}
+
+// readMessageHeader parses the 24-byte header using caller-provided
+// scratch; a Decoder passes its own field so the buffer does not escape to
+// the heap on every message.
+func readMessageHeader(r io.Reader, buf *[headerSize]byte) (messageHeader, error) {
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return messageHeader{}, err
+	}
+	h := messageHeader{
 		magic:  BitcoinNet(getUint32(buf[0:4])),
 		length: getUint32(buf[16:20]),
 	}
@@ -203,14 +254,26 @@ func readMessageHeader(r io.Reader) (*messageHeader, error) {
 	if i := bytes.IndexByte(cmd, 0); i >= 0 {
 		cmd = cmd[:i]
 	}
-	h.command = string(cmd)
+	h.command = internCommand(cmd)
 	copy(h.checksum[:], buf[20:24])
 	return h, nil
 }
 
 // WriteMessage frames msg with a header for network net and writes it to w.
-// It returns the total number of bytes written.
+// It returns the total number of bytes written. Internally it borrows a
+// pooled Encoder; hold an Encoder directly to skip the pool round-trip.
 func WriteMessage(w io.Writer, msg Message, net BitcoinNet) (int, error) {
+	e := GetEncoder()
+	n, err := e.WriteMessage(w, msg, net)
+	e.Release()
+	return n, err
+}
+
+// writeMessageBuffered is the legacy two-pass framing path: encode the
+// payload into a bytes.Buffer, write the header, write the payload. It is
+// kept as the reference implementation for FuzzEncoderParity, which pins
+// the pooled Encoder to this byte stream.
+func writeMessageBuffered(w io.Writer, msg Message, net BitcoinNet) (int, error) {
 	var payload bytes.Buffer
 	if err := msg.Encode(&payload); err != nil {
 		return 0, fmt.Errorf("wire: encode %s: %w", msg.Command(), err)
@@ -229,22 +292,37 @@ func WriteMessage(w io.Writer, msg Message, net BitcoinNet) (int, error) {
 		length:   uint32(payload.Len()),
 		checksum: chainhash.Checksum(payload.Bytes()),
 	}
-	if err := writeMessageHeader(w, hdr); err != nil {
-		return 0, fmt.Errorf("wire: write header: %w", err)
+	hn, err := writeMessageHeader(w, hdr)
+	if err != nil {
+		return hn, fmt.Errorf("wire: write header: %w", err)
 	}
 	n, err := w.Write(payload.Bytes())
 	if err != nil {
-		return headerSize + n, fmt.Errorf("wire: write payload: %w", err)
+		return hn + n, fmt.Errorf("wire: write payload: %w", err)
 	}
-	return headerSize + n, nil
+	return hn + n, nil
 }
 
 // ReadMessage reads one framed message for network net from r. It verifies
 // the magic and checksum and decodes the payload into the appropriate
 // message type. Unknown commands return ErrUnknownCommand (wrapped), with
 // the payload consumed, so callers may skip them and continue.
+//
+// The returned message is freshly allocated and caller-owned. Internally a
+// pooled Decoder supplies the payload scratch; hold a Decoder directly for
+// the full zero-allocation path (with its message-reuse caveat).
 func ReadMessage(r io.Reader, net BitcoinNet) (Message, error) {
-	hdr, err := readMessageHeader(r)
+	d := GetDecoder()
+	msg, err := d.readMessage(r, net, false)
+	d.Release()
+	return msg, err
+}
+
+// readMessageBuffered is the legacy allocation-per-message read path, kept
+// as the reference implementation for FuzzEncoderParity.
+func readMessageBuffered(r io.Reader, net BitcoinNet) (Message, error) {
+	var scratch [headerSize]byte
+	hdr, err := readMessageHeader(r, &scratch)
 	if err != nil {
 		return nil, err
 	}

@@ -360,7 +360,7 @@ func TestReadMessageUnknownCommand(t *testing.T) {
 	var buf bytes.Buffer
 	hdr := &messageHeader{magic: SimNet, command: "bogus"}
 	hdr.checksum = [4]byte{0x5d, 0xf6, 0xe0, 0xe2} // checksum of empty payload
-	if err := writeMessageHeader(&buf, hdr); err != nil {
+	if _, err := writeMessageHeader(&buf, hdr); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := ReadMessage(&buf, SimNet); !errors.Is(err, ErrUnknownCommand) {
@@ -386,7 +386,7 @@ func TestReadMessageTruncatedPayload(t *testing.T) {
 func TestReadMessageOversizedHeader(t *testing.T) {
 	hdr := &messageHeader{magic: SimNet, command: CmdPing, length: MaxMessagePayload + 1}
 	var buf bytes.Buffer
-	if err := writeMessageHeader(&buf, hdr); err != nil {
+	if _, err := writeMessageHeader(&buf, hdr); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := ReadMessage(&buf, SimNet); !errors.Is(err, ErrPayloadTooLarge) {
